@@ -1,0 +1,16 @@
+"""Figure 1: the disk database layer, not consensus, is the bottleneck."""
+
+from repro.bench.experiments import figure1
+
+from conftest import run_once
+
+
+def test_figure1(benchmark):
+    result = run_once(benchmark, figure1)
+    by_layer = dict(zip(result.column("layer"), result.column("throughput_ktps")))
+    disk_layers = [v for k, v in by_layer.items() if "disk DB layer" in k]
+    consensus = [v for k, v in by_layer.items() if "hotstuff" in k]
+    # consensus outruns every disk DB layer by ~an order of magnitude
+    assert min(consensus) > 8 * max(disk_layers)
+    # the memory DB layer sits in between (the "gap for improvement")
+    assert max(disk_layers) < by_layer["aria (memory DB layer)"] < min(consensus)

@@ -1,0 +1,24 @@
+"""Figure 10: impact of block size on YCSB."""
+
+from repro.bench.experiments import figure10
+
+from conftest import run_once
+
+
+def test_figure10(benchmark):
+    result = run_once(benchmark, figure10)
+
+    def curve(system, column):
+        return result.series("system", system, column)
+
+    # FastFabric#'s latency blows up with block size (bigger graphs)
+    ff_latency = curve("fastfabric", "latency_ms")
+    assert ff_latency[-1] > 3 * ff_latency[0]
+    assert max(ff_latency) == max(
+        max(curve(s, "latency_ms")) for s in ("harmony", "aria", "rbc", "fabric", "fastfabric")
+    )
+    # Harmony peaks at a moderate block size then flattens/drops
+    harmony = curve("harmony", "throughput_tps")
+    assert harmony[0] < max(harmony)
+    # throughput drops at block=100 vs the optimum due to conflicts
+    assert harmony[-1] <= max(harmony)

@@ -1,0 +1,29 @@
+"""Figure 11: impact of contention on Smallbank."""
+
+from repro.bench.experiments import figure11
+
+from conftest import run_once
+
+
+def test_figure11(benchmark):
+    result = run_once(benchmark, figure11)
+
+    def curve(system, column):
+        return result.series("system", system, column)
+
+    # abort rates grow with skew; Harmony stays lowest among OE systems
+    for system in ("harmony", "aria", "rbc"):
+        aborts = curve(system, "abort_rate")
+        assert aborts[-1] >= aborts[0]
+    h_abort = curve("harmony", "abort_rate")
+    a_abort = curve("aria", "abort_rate")
+    assert sum(h_abort) <= sum(a_abort) + 0.05
+    # Smallbank is mild: Harmony's throughput degrades gracefully
+    h_tput = curve("harmony", "throughput_tps")
+    assert h_tput[-1] > 0.4 * h_tput[0]
+    # Harmony on top at medium contention (skew 0.6)
+    at_06 = {
+        s: result.series("system", s, "throughput_tps")[3]
+        for s in ("harmony", "aria", "rbc", "fabric", "fastfabric")
+    }
+    assert at_06["harmony"] == max(at_06.values())

@@ -1,0 +1,27 @@
+"""Figure 12: impact of contention on YCSB."""
+
+from repro.bench.experiments import figure12
+
+from conftest import run_once
+
+
+def test_figure12(benchmark):
+    result = run_once(benchmark, figure12)
+
+    def curve(system, column):
+        return result.series("system", system, column)
+
+    # Fabric aborts even at skew 0 (non-deterministic endorsement rw-sets)
+    assert curve("fabric", "abort_rate")[0] > 0.0
+    # everyone collapses toward skew 1.0
+    for system in ("harmony", "aria", "rbc"):
+        tput = curve(system, "throughput_tps")
+        assert tput[-1] < tput[0]
+    # HarmonyBC outperforms AriaBC and RBC at every skew
+    h = curve("harmony", "throughput_tps")
+    a = curve("aria", "throughput_tps")
+    r = curve("rbc", "throughput_tps")
+    assert all(hv >= av for hv, av in zip(h, a))
+    assert all(hv > rv for hv, rv in zip(h, r))
+    # ... with consistently lower abort rates than Aria (ww aborts)
+    assert sum(curve("harmony", "abort_rate")) < sum(curve("aria", "abort_rate")) + 0.05

@@ -1,0 +1,28 @@
+"""Figure 13: false abort rates (Harmony lowest in all cases)."""
+
+from repro.bench.experiments import figure13
+
+from conftest import run_once
+
+
+def test_figure13(benchmark):
+    result = run_once(benchmark, figure13)
+
+    def total(workload, system):
+        return sum(
+            row[3]
+            for row in result.rows
+            if row[0] == workload and row[1] == system
+        )
+
+    for workload in ("ycsb", "smallbank"):
+        harmony = total(workload, "harmony")
+        for other in ("fabric", "rbc", "aria"):
+            assert harmony <= total(workload, other) + 1e-9, (
+                f"harmony should have the lowest false aborts on {workload}"
+            )
+    # false aborts generally grow with contention for the value-based rules
+    ycsb_aria = [
+        row[3] for row in result.rows if row[0] == "ycsb" and row[1] == "aria"
+    ]
+    assert max(ycsb_aria) > ycsb_aria[0]

@@ -1,0 +1,29 @@
+"""Figure 14: hotspot resiliency (HarmonyBC flat; AriaBC/RBC collapse)."""
+
+from repro.bench.experiments import figure14
+
+from conftest import run_once
+
+
+def test_figure14(benchmark):
+    result = run_once(benchmark, figure14)
+
+    def curve(system, column):
+        return result.series("system", system, column)
+
+    harmony = curve("harmony", "throughput_tps")
+    aria = curve("aria", "throughput_tps")
+    rbc = curve("rbc", "throughput_tps")
+    # HarmonyBC is almost unaffected by hotspot probability
+    assert min(harmony) > 0.6 * max(harmony)
+    assert max(curve("harmony", "abort_rate")) < 0.05
+    # AriaBC drops significantly as hotspot probability rises; RBC's abort
+    # rate climbs steeply (its serial commit keeps its absolute throughput
+    # low and flat in our cost model — see EXPERIMENTS.md)
+    assert aria[-1] < 0.5 * aria[0]
+    assert curve("aria", "abort_rate")[-1] > 0.4
+    assert curve("rbc", "abort_rate")[-1] > 5 * (curve("rbc", "abort_rate")[0] + 0.01)
+    # at full hotspot pressure Harmony dominates by a wide margin, and the
+    # margin grows with hotspot probability
+    assert harmony[-1] > 2 * max(aria[-1], rbc[-1])
+    assert harmony[-1] / aria[-1] > harmony[0] / aria[0]

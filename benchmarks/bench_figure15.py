@@ -1,0 +1,28 @@
+"""Figure 15: replica scaling on Smallbank (OE flat, SOV degrades)."""
+
+from repro.bench.experiments import figure15
+
+from conftest import run_once
+
+
+def test_figure15(benchmark):
+    result = run_once(benchmark, figure15)
+
+    def curve(system, column):
+        return result.series("system", system, column)
+
+    # OE systems: throughput essentially flat from 4 to 80 replicas
+    for system in ("harmony", "aria", "rbc"):
+        tput = curve(system, "throughput_tps")
+        assert tput[-1] > 0.8 * tput[0], f"{system} should be ~flat in replicas"
+    # SOV: broadcast of rw-sets saturates the orderer uplink. Fabric's
+    # throughput drops once the broadcast outpaces validation; FastFabric#
+    # stays bottlenecked on its own graph traversal but pays the same
+    # growing delivery latency.
+    fabric_tput = curve("fabric", "throughput_tps")
+    assert fabric_tput[-1] < 0.95 * fabric_tput[0]
+    for system in ("fabric", "fastfabric"):
+        tput = curve(system, "throughput_tps")
+        assert tput[-1] <= tput[0]
+        latency = curve(system, "latency_ms")
+        assert latency[-1] > 1.5 * latency[0]

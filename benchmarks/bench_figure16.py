@@ -1,0 +1,27 @@
+"""Figure 16: replica scaling on YCSB."""
+
+from repro.bench.experiments import figure16
+
+from conftest import run_once
+
+
+def test_figure16(benchmark):
+    result = run_once(benchmark, figure16)
+
+    def curve(system, column):
+        return result.series("system", system, column)
+
+    for system in ("harmony", "aria", "rbc"):
+        tput = curve(system, "throughput_tps")
+        assert tput[-1] > 0.8 * tput[0]
+    fabric_tput = curve("fabric", "throughput_tps")
+    assert fabric_tput[-1] < 0.95 * fabric_tput[0]
+    for system in ("fabric", "fastfabric"):
+        tput = curve(system, "throughput_tps")
+        assert tput[-1] <= tput[0]
+        assert curve(system, "latency_ms")[-1] > 1.2 * curve(system, "latency_ms")[0]
+    # HarmonyBC stays on top at every replica count
+    h = curve("harmony", "throughput_tps")
+    for other in ("aria", "rbc", "fabric", "fastfabric"):
+        o = curve(other, "throughput_tps")
+        assert all(hv >= ov for hv, ov in zip(h, o))

@@ -1,0 +1,23 @@
+"""Figure 17: BFT (HotStuff) vs Kafka on Smallbank, up to 80 geo nodes."""
+
+from repro.bench.experiments import figure17
+
+from conftest import run_once
+
+
+def test_figure17(benchmark):
+    result = run_once(benchmark, figure17)
+
+    def curve(consensus, column):
+        return result.series("consensus", consensus, column)
+
+    bft_tput = curve("hotstuff", "throughput_tps")
+    kafka_tput = curve("kafka", "throughput_tps")
+    # BFT leaves throughput almost unaffected (consensus not the bottleneck)
+    assert min(bft_tput) > 0.75 * max(kafka_tput)
+    # latency: grows sharply once nodes span continents (>20 nodes)
+    bft_latency = curve("hotstuff", "latency_ms")
+    assert bft_latency[-1] > 5 * bft_latency[0]
+    kafka_latency = curve("kafka", "latency_ms")
+    # HotStuff needs more round trips than Kafka at every scale
+    assert all(b > k for b, k in zip(bft_latency, kafka_latency))

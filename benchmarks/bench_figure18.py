@@ -1,0 +1,20 @@
+"""Figure 18: BFT (HotStuff) vs Kafka on YCSB."""
+
+from repro.bench.experiments import figure18
+
+from conftest import run_once
+
+
+def test_figure18(benchmark):
+    result = run_once(benchmark, figure18)
+
+    def curve(consensus, column):
+        return result.series("consensus", consensus, column)
+
+    bft_tput = curve("hotstuff", "throughput_tps")
+    kafka_tput = curve("kafka", "throughput_tps")
+    assert min(bft_tput) > 0.75 * max(kafka_tput)
+    bft_latency = curve("hotstuff", "latency_ms")
+    assert bft_latency[-1] > bft_latency[0]
+    # within one region (<=20 nodes) the BFT latency penalty is modest
+    assert bft_latency[0] < 0.2 * bft_latency[-1]

@@ -1,0 +1,24 @@
+"""Figure 19: TPC-C across warehouse counts."""
+
+from repro.bench.experiments import figure19
+
+from conftest import run_once
+
+
+def test_figure19(benchmark):
+    result = run_once(benchmark, figure19)
+
+    def curve(system, column):
+        return result.series("system", system, column)
+
+    harmony = curve("harmony", "throughput_tps")
+    aria = curve("aria", "throughput_tps")
+    rbc = curve("rbc", "throughput_tps")
+    # HarmonyBC wins at every warehouse count
+    assert all(h >= a for h, a in zip(harmony, aria))
+    assert all(h > r for h, r in zip(harmony, rbc))
+    # the margin is largest at 1 warehouse (highest contention; paper: 3.3x)
+    margin_1wh = harmony[0] / max(aria[0], rbc[0])
+    assert margin_1wh > 1.5
+    # beyond ~20 warehouses, the growing database starts hurting everyone
+    assert harmony[-1] < max(harmony)

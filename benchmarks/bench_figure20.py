@@ -1,0 +1,42 @@
+"""Figure 20: ablation study — each optimization earns its keep."""
+
+from repro.bench.experiments import figure20
+
+from conftest import run_once
+
+
+def test_figure20(benchmark):
+    result = run_once(benchmark, figure20)
+
+    def cell(workload, level, variant, column):
+        index = result.headers.index(column)
+        for row in result.rows:
+            if row[0] == workload and row[1] == level and row[2] == variant:
+                return row[index]
+        raise KeyError((workload, level, variant))
+
+    for workload in ("ycsb", "smallbank", "tpcc"):
+        raw_high = cell(workload, "high", "raw-HarmonyBC", "throughput_tps")
+        full_high = cell(workload, "high", "HarmonyBC (+inter-block)", "throughput_tps")
+        raw_low = cell(workload, "low", "raw-HarmonyBC", "throughput_tps")
+        full_low = cell(workload, "low", "HarmonyBC (+inter-block)", "throughput_tps")
+        # the full system beats raw-Harmony under both contention levels
+        assert full_high > raw_high
+        assert full_low > raw_low
+
+    # update-reordering is the big win under HIGH contention (abort rate)
+    for workload in ("ycsb", "tpcc"):
+        raw_aborts = cell(workload, "high", "raw-HarmonyBC", "abort_rate")
+        reorder_aborts = cell(workload, "high", "+update-reorder", "abort_rate")
+        assert reorder_aborts < raw_aborts
+
+    # inter-block parallelism is the big win under LOW contention (CPU util)
+    for workload in ("ycsb", "smallbank"):
+        coalesce_util = cell(workload, "low", "+update-coalesce", "cpu_util")
+        full_util = cell(workload, "low", "HarmonyBC (+inter-block)", "cpu_util")
+        assert full_util > coalesce_util
+        # ... at the cost of a slightly higher abort rate
+        assert (
+            cell(workload, "low", "HarmonyBC (+inter-block)", "abort_rate")
+            >= cell(workload, "low", "+update-coalesce", "abort_rate")
+        )

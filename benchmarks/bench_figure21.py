@@ -1,0 +1,29 @@
+"""Figure 21: Harmony's optimizations survive the removal of disk overheads."""
+
+from repro.bench.experiments import figure21
+
+from conftest import run_once
+
+
+def test_figure21(benchmark):
+    result = run_once(benchmark, figure21)
+
+    def cell(workload, engine, system):
+        for row in result.rows:
+            if row[0] == workload and row[1] == engine and row[2] == system:
+                return row[3]
+        raise KeyError((workload, engine, system))
+
+    for workload in ("ycsb", "smallbank", "tpcc"):
+        # removing device latency helps; removing the buffer manager helps more
+        for system in ("aria", "harmony"):
+            ssd = cell(workload, "PGSQL (SSD)", system)
+            ram = cell(workload, "PGSQL (RAMDisk)", system)
+            mem = cell(workload, "memory engine", system)
+            assert ssd < ram < mem
+        # Harmony still beats Aria with every storage engine
+        for engine in ("PGSQL (SSD)", "PGSQL (RAMDisk)", "memory engine"):
+            assert cell(workload, engine, "harmony") >= cell(workload, engine, "aria")
+        # even the memory engine stays below the consensus ceiling
+        ceiling = cell(workload, "consensus ceiling", "hotstuff")
+        assert cell(workload, "memory engine", "harmony") < ceiling

@@ -1,0 +1,21 @@
+"""Figure 7: overall performance on Smallbank."""
+
+from repro.bench.experiments import figure7
+
+from conftest import run_once
+
+
+def test_figure7(benchmark):
+    result = run_once(benchmark, figure7)
+    tput = dict(zip(result.column("system"), result.column("throughput_tps")))
+    latency = dict(zip(result.column("system"), result.column("latency_ms")))
+    best_existing = max(tput["fabric"], tput["fastfabric"], tput["rbc"])
+    # HarmonyBC: 2x-4x over the best existing private blockchain (paper: 3.5x)
+    assert tput["harmony"] > 2.0 * best_existing
+    # ... and ahead of AriaBC
+    assert tput["harmony"] > tput["aria"]
+    # OE latency well below SOV latency (fewer round trips)
+    assert latency["harmony"] < latency["fabric"]
+    assert latency["harmony"] < latency["fastfabric"]
+    # AriaBC's larger optimal block size costs it latency
+    assert latency["aria"] > latency["harmony"]

@@ -1,0 +1,27 @@
+"""Figure 9: impact of block size on Smallbank."""
+
+from repro.bench.experiments import figure9
+
+from conftest import run_once
+
+
+def test_figure9(benchmark):
+    result = run_once(benchmark, figure9)
+
+    def curve(system, column):
+        return result.series("system", system, column)
+
+    # tiny blocks (5) limit concurrency for every concurrent system
+    for system in ("harmony", "aria", "rbc"):
+        tput = curve(system, "throughput_tps")
+        assert tput[0] < max(tput), f"{system} should improve past block=5"
+    # RBC's serial commit means large blocks buy little: its optimum is
+    # at a smaller block size than AriaBC's (paper: 10 vs 75)
+    blocks = curve("rbc", "block_size")
+    rbc_best = blocks[curve("rbc", "throughput_tps").index(max(curve("rbc", "throughput_tps")))]
+    aria_best = blocks[curve("aria", "throughput_tps").index(max(curve("aria", "throughput_tps")))]
+    assert rbc_best <= aria_best
+    # latency grows with block size for every system
+    for system in ("harmony", "aria", "fabric"):
+        lat = curve(system, "latency_ms")
+        assert lat[-1] > lat[0]

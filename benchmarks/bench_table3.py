@@ -1,0 +1,27 @@
+"""Table 3: how often workloads exercise the backward dangerous structure."""
+
+from repro.bench.experiments import table3
+
+from conftest import run_once
+
+
+def test_table3(benchmark):
+    result = run_once(benchmark, table3)
+
+    def series(workload):
+        return [
+            row[2] for row in result.rows if row[0] == workload
+        ]
+
+    ycsb = series("ycsb")
+    smallbank = series("smallbank")
+    tpcc = series("tpcc")
+    # hit rate grows with skew for YCSB/Smallbank
+    assert ycsb[-1] > ycsb[0]
+    assert ycsb[-1] > 0.3  # paper: 74.3% at skew 1.0
+    assert smallbank[-1] > smallbank[0]
+    # Smallbank is far less contentious than YCSB at equal skew
+    assert smallbank[-1] < ycsb[-1]
+    # TPC-C: 1 warehouse is the contention peak (paper: 47.9%)
+    assert tpcc[0] == max(tpcc)
+    assert tpcc[0] > 0.25

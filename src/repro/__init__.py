@@ -1,0 +1,51 @@
+"""repro — reproduction of "When Private Blockchain Meets Deterministic
+Database" (Lai, Liu, Lo; SIGMOD 2023).
+
+The package implements the paper's full stack:
+
+- :mod:`repro.core` — **Harmony**, the deterministic optimistic concurrency
+  control protocol (abort-minimizing validation, update reordering and
+  coalescence, inter-block parallelism);
+- :mod:`repro.dcc` — the baselines it is evaluated against (Aria, RBC,
+  Fabric, FastFabric#, serial execution) plus an exact serializability
+  oracle;
+- :mod:`repro.storage` — a disk-oriented database layer (buffer pool, heap
+  files, block-snapshot MVCC, WAL, checkpoints) on a simulated device;
+- :mod:`repro.consensus` — pluggable Kafka-style and HotStuff-BFT
+  consensus/network models;
+- :mod:`repro.chain` — the assembled blockchains: HarmonyBC, AriaBC, RBC
+  (Order-Execute) and Fabric / FastFabric# (Simulate-Order-Validate);
+- :mod:`repro.sql` — a small SQL subset whose UPDATE plans yield the update
+  commands Harmony reorders and coalesces;
+- :mod:`repro.workloads` — YCSB, Smallbank, TPC-C and the hotspot variant;
+- :mod:`repro.bench` — one experiment per table/figure of the evaluation.
+
+Quickstart::
+
+    from repro import HarmonyExecutor, StorageEngine, ProcedureRegistry
+    # see examples/quickstart.py for a complete walk-through
+"""
+
+from repro.core.harmony import HarmonyConfig, HarmonyExecutor
+from repro.execution import BlockExecution, DCCExecutor
+from repro.sim.costs import CostModel, StorageProfile
+from repro.storage.engine import StorageEngine
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import Txn, TxnSpec, TxnStatus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockExecution",
+    "CostModel",
+    "DCCExecutor",
+    "HarmonyConfig",
+    "HarmonyExecutor",
+    "ProcedureRegistry",
+    "StorageEngine",
+    "StorageProfile",
+    "Txn",
+    "TxnSpec",
+    "TxnStatus",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""CLI: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro.bench figure7 figure8     # specific experiments
+    python -m repro.bench all                 # the whole evaluation
+    REPRO_FULL=1 python -m repro.bench all    # longer, steadier runs
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.report import render
+
+
+def main(argv: list[str]) -> int:
+    names = argv or ["all"]
+    if names == ["all"]:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {sorted(EXPERIMENTS)}")
+        return 2
+    for name in names:
+        start = time.time()
+        result = EXPERIMENTS[name]()
+        print(render(result))
+        print(f"  ({time.time() - start:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

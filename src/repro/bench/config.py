@@ -1,0 +1,23 @@
+"""Benchmark scale knobs."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """How much work each experiment performs."""
+
+    num_blocks: int
+    sov_blocks: int
+    tpcc_blocks: int
+    seed: int = 7
+
+
+def current_scale() -> BenchScale:
+    """Default: quick, shape-preserving runs; REPRO_FULL=1 for longer ones."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return BenchScale(num_blocks=40, sov_blocks=30, tpcc_blocks=25)
+    return BenchScale(num_blocks=14, sov_blocks=10, tpcc_blocks=8)

@@ -1,0 +1,491 @@
+"""Experiment definitions: one function per table/figure of Section 5.
+
+Conventions shared with the paper:
+
+- "skewness" is YCSB/Smallbank Zipf theta; medium contention = 0.6;
+- block sizes default to each system's optimum from Figures 9/10
+  (HarmonyBC 25, RBC 10, AriaBC 50/75, SOV systems 50);
+- OE systems (HarmonyBC, AriaBC, RBC, serial) and SOV systems (Fabric,
+  FastFabric#) run on identical workload streams (same seeds).
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import BenchScale, current_scale
+from repro.bench.report import ExperimentResult
+from repro.chain.sov import SOVBlockchain, SOVConfig
+from repro.chain.system import OEBlockchain, OEConfig
+from repro.consensus.hotstuff import HotStuffConsensus
+from repro.consensus.network import NetworkModel, NetworkPreset
+from repro.core.harmony import HarmonyConfig
+from repro.sim.costs import CostModel, StorageProfile
+from repro.sim.metrics import RunMetrics
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.ycsb import YCSBWorkload
+
+OE_SYSTEMS = ("harmony", "aria", "rbc")
+SOV_SYSTEMS = ("fabric", "fastfabric")
+ALL_SYSTEMS = OE_SYSTEMS + SOV_SYSTEMS
+
+#: per-system optimal block sizes (Figures 9/10)
+OPTIMAL_BLOCK = {
+    "harmony": {"ycsb": 25, "smallbank": 25, "tpcc": 25, "ycsb-hotspot": 25},
+    "aria": {"ycsb": 50, "smallbank": 75, "tpcc": 50, "ycsb-hotspot": 50},
+    "rbc": {"ycsb": 10, "smallbank": 10, "tpcc": 10, "ycsb-hotspot": 10},
+    "fabric": {"ycsb": 50, "smallbank": 50},
+    "fastfabric": {"ycsb": 50, "smallbank": 50},
+    "serial": {"ycsb": 25, "smallbank": 25, "tpcc": 25},
+}
+
+SKEWS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+BLOCK_SIZES = (5, 25, 50, 75, 100)
+REPLICA_COUNTS = (4, 20, 40, 60, 80)
+WAREHOUSES = (1, 20, 40, 60, 80)
+HOTSPOT_PROBS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def make_workload(name: str, skew: float = 0.6, **kwargs):
+    if name == "ycsb":
+        return YCSBWorkload(theta=skew, **kwargs)
+    if name == "smallbank":
+        return SmallbankWorkload(theta=skew, **kwargs)
+    if name == "tpcc":
+        return TPCCWorkload(**kwargs)
+    if name == "ycsb-hotspot":
+        return HotspotWorkload(**kwargs)
+    raise ValueError(f"unknown workload {name!r}")
+
+
+def block_size_for(system: str, workload: str) -> int:
+    return OPTIMAL_BLOCK.get(system, {}).get(workload, 25)
+
+
+def run_oe(
+    system: str,
+    workload_name: str,
+    scale: BenchScale | None = None,
+    skew: float = 0.6,
+    workload_kwargs: dict | None = None,
+    **config_overrides,
+) -> RunMetrics:
+    scale = scale or current_scale()
+    workload = make_workload(workload_name, skew=skew, **(workload_kwargs or {}))
+    blocks = scale.tpcc_blocks if workload_name == "tpcc" else scale.num_blocks
+    config = OEConfig(
+        system=system,
+        block_size=block_size_for(system, workload_name),
+        num_blocks=blocks,
+        seed=scale.seed,
+    )
+    for key, value in config_overrides.items():
+        setattr(config, key, value)
+    return OEBlockchain(config, workload).run()
+
+
+def run_sov(
+    system: str,
+    workload_name: str,
+    scale: BenchScale | None = None,
+    skew: float = 0.6,
+    workload_kwargs: dict | None = None,
+    **config_overrides,
+) -> RunMetrics:
+    scale = scale or current_scale()
+    workload = make_workload(workload_name, skew=skew, **(workload_kwargs or {}))
+    config = SOVConfig(
+        system=system,
+        block_size=block_size_for(system, workload_name),
+        num_blocks=scale.sov_blocks,
+        seed=scale.seed,
+    )
+    for key, value in config_overrides.items():
+        setattr(config, key, value)
+    return SOVBlockchain(config, workload).run()
+
+
+def run_any(system: str, workload_name: str, **kwargs) -> RunMetrics:
+    if system in SOV_SYSTEMS:
+        return run_sov(system, workload_name, **kwargs)
+    return run_oe(system, workload_name, **kwargs)
+
+
+# --------------------------------------------------------------------------
+# Figure 1 — the database layer is the bottleneck
+# --------------------------------------------------------------------------
+def figure1(scale: BenchScale | None = None) -> ExperimentResult:
+    """Disk DB-layer throughputs vs consensus throughput (Smallbank).
+
+    "Throughputs of the database layers are measured by using only one
+    ordering node to write off consensus" — i.e. our system runs, whose
+    consensus model is never the binding constraint. The HotStuff rows are
+    the consensus layer alone at 80 nodes, LAN and WAN.
+    """
+    result = ExperimentResult(
+        name="Figure 1",
+        description="disk DB layer vs consensus layer (Smallbank, Ktxns/s)",
+        headers=["layer", "throughput_ktps"],
+    )
+    for system in ("fabric", "fastfabric"):
+        metrics = run_sov(system, "smallbank", scale)
+        result.add(f"{system} (disk DB layer)", metrics.throughput_tps / 1000.0)
+    metrics = run_oe("rbc", "smallbank", scale)
+    result.add("rbc (disk DB layer)", metrics.throughput_tps / 1000.0)
+    metrics = run_oe("aria", "smallbank", scale, profile=StorageProfile.MEMORY)
+    result.add("aria (memory DB layer)", metrics.throughput_tps / 1000.0)
+    costs = CostModel()
+    for preset, label in (
+        (NetworkPreset.CLOUD_LAN_5G, "hotstuff 80 nodes (LAN)"),
+        (NetworkPreset.CLOUD_WAN, "hotstuff 80 nodes (WAN)"),
+    ):
+        consensus = HotStuffConsensus(NetworkModel.preset(preset), costs, num_nodes=80)
+        result.add(label, consensus.throughput_tps() / 1000.0)
+    return result
+
+
+# --------------------------------------------------------------------------
+# Table 3 — hit rate of the backward dangerous structure
+# --------------------------------------------------------------------------
+def table3(scale: BenchScale | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Table 3",
+        description="hit rate of the backward dangerous structure",
+        headers=["workload", "parameter", "hit_rate"],
+    )
+    config = HarmonyConfig(inter_block=False)  # pure Rule-1 hits
+    for skew in SKEWS:
+        metrics = run_oe("harmony", "ycsb", scale, skew=skew, harmony=config)
+        result.add("ycsb", f"skew={skew}", metrics.dangerous_structure_rate)
+    for skew in SKEWS:
+        metrics = run_oe("harmony", "smallbank", scale, skew=skew, harmony=config)
+        result.add("smallbank", f"skew={skew}", metrics.dangerous_structure_rate)
+    for warehouses in WAREHOUSES:
+        metrics = run_oe(
+            "harmony",
+            "tpcc",
+            scale,
+            workload_kwargs={"num_warehouses": warehouses},
+            harmony=config,
+        )
+        result.add("tpcc", f"warehouses={warehouses}", metrics.dangerous_structure_rate)
+    return result
+
+
+# --------------------------------------------------------------------------
+# Figures 7/8 — overall performance
+# --------------------------------------------------------------------------
+def _overall(workload_name: str, scale: BenchScale | None) -> ExperimentResult:
+    figure = "Figure 7" if workload_name == "smallbank" else "Figure 8"
+    result = ExperimentResult(
+        name=figure,
+        description=f"overall performance on {workload_name}",
+        headers=["system", "throughput_tps", "latency_ms"],
+    )
+    for system in ("fabric", "fastfabric", "rbc", "aria", "harmony"):
+        metrics = run_any(system, workload_name, scale=scale)
+        result.add(system, metrics.throughput_tps, metrics.mean_latency_ms)
+    return result
+
+
+def figure7(scale: BenchScale | None = None) -> ExperimentResult:
+    return _overall("smallbank", scale)
+
+
+def figure8(scale: BenchScale | None = None) -> ExperimentResult:
+    return _overall("ycsb", scale)
+
+
+# --------------------------------------------------------------------------
+# Figures 9/10 — block size sweep
+# --------------------------------------------------------------------------
+def _block_sweep(workload_name: str, scale: BenchScale | None) -> ExperimentResult:
+    figure = "Figure 9" if workload_name == "smallbank" else "Figure 10"
+    result = ExperimentResult(
+        name=figure,
+        description=f"impact of block size on {workload_name}",
+        headers=["system", "block_size", "throughput_tps", "latency_ms"],
+    )
+    for system in ("fabric", "fastfabric", "rbc", "aria", "harmony"):
+        for block_size in BLOCK_SIZES:
+            metrics = run_any(
+                system, workload_name, scale=scale, block_size=block_size
+            )
+            result.add(system, block_size, metrics.throughput_tps, metrics.mean_latency_ms)
+    return result
+
+
+def figure9(scale: BenchScale | None = None) -> ExperimentResult:
+    return _block_sweep("smallbank", scale)
+
+
+def figure10(scale: BenchScale | None = None) -> ExperimentResult:
+    return _block_sweep("ycsb", scale)
+
+
+# --------------------------------------------------------------------------
+# Figures 11/12 — contention sweep
+# --------------------------------------------------------------------------
+def _contention(workload_name: str, scale: BenchScale | None) -> ExperimentResult:
+    figure = "Figure 11" if workload_name == "smallbank" else "Figure 12"
+    result = ExperimentResult(
+        name=figure,
+        description=f"impact of contention on {workload_name}",
+        headers=["system", "skew", "throughput_tps", "abort_rate"],
+    )
+    for system in ("fabric", "fastfabric", "rbc", "aria", "harmony"):
+        for skew in SKEWS:
+            metrics = run_any(system, workload_name, scale=scale, skew=skew)
+            result.add(system, skew, metrics.throughput_tps, metrics.abort_rate)
+    return result
+
+
+def figure11(scale: BenchScale | None = None) -> ExperimentResult:
+    return _contention("smallbank", scale)
+
+
+def figure12(scale: BenchScale | None = None) -> ExperimentResult:
+    return _contention("ycsb", scale)
+
+
+# --------------------------------------------------------------------------
+# Figure 13 — false abort rate (FastFabric# excluded, as in the paper)
+# --------------------------------------------------------------------------
+def figure13(scale: BenchScale | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 13",
+        description="false abort rate (aborts a perfect scheduler avoids)",
+        headers=["workload", "system", "skew", "false_abort_rate"],
+    )
+    for workload_name in ("ycsb", "smallbank"):
+        for system in ("fabric", "rbc", "aria", "harmony"):
+            for skew in SKEWS:
+                metrics = run_any(system, workload_name, scale=scale, skew=skew)
+                result.add(workload_name, system, skew, metrics.false_abort_rate)
+    result.notes.append(
+        "FastFabric# excluded: its graph traversal eliminates false aborts"
+        " at the orderer (paper, Figure 13 caption)."
+    )
+    return result
+
+
+# --------------------------------------------------------------------------
+# Figure 14 — hotspots
+# --------------------------------------------------------------------------
+def figure14(scale: BenchScale | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 14",
+        description="impact of hotspots (1% hot keys, fused SELECT+UPDATE)",
+        headers=["system", "hotspot_prob", "throughput_tps", "abort_rate"],
+    )
+    for system in OE_SYSTEMS:
+        for prob in HOTSPOT_PROBS:
+            metrics = run_oe(
+                system,
+                "ycsb-hotspot",
+                scale,
+                workload_kwargs={"hotspot_probability": prob},
+            )
+            result.add(system, prob, metrics.throughput_tps, metrics.abort_rate)
+    return result
+
+
+# --------------------------------------------------------------------------
+# Figures 15/16 — replica scaling
+# --------------------------------------------------------------------------
+def _replicas(workload_name: str, scale: BenchScale | None) -> ExperimentResult:
+    figure = "Figure 15" if workload_name == "smallbank" else "Figure 16"
+    result = ExperimentResult(
+        name=figure,
+        description=f"impact of number of replicas on {workload_name} (cloud LAN)",
+        headers=["system", "replicas", "throughput_tps", "latency_ms"],
+    )
+    for system in ("fabric", "fastfabric", "rbc", "aria", "harmony"):
+        for replicas in REPLICA_COUNTS:
+            metrics = run_any(
+                system,
+                workload_name,
+                scale=scale,
+                num_replicas=replicas,
+                network=NetworkPreset.CLOUD_LAN_5G,
+            )
+            result.add(
+                system, replicas, metrics.throughput_tps, metrics.mean_latency_ms
+            )
+    return result
+
+
+def figure15(scale: BenchScale | None = None) -> ExperimentResult:
+    return _replicas("smallbank", scale)
+
+
+def figure16(scale: BenchScale | None = None) -> ExperimentResult:
+    return _replicas("ycsb", scale)
+
+
+# --------------------------------------------------------------------------
+# Figures 17/18 — BFT consensus, geo-distributed
+# --------------------------------------------------------------------------
+def _bft(workload_name: str, scale: BenchScale | None) -> ExperimentResult:
+    figure = "Figure 17" if workload_name == "smallbank" else "Figure 18"
+    result = ExperimentResult(
+        name=figure,
+        description=f"HarmonyBC with BFT vs Kafka consensus on {workload_name}"
+        " (>20 nodes => geo-distributed WAN)",
+        headers=["consensus", "nodes", "throughput_tps", "latency_ms"],
+    )
+    for consensus in ("hotstuff", "kafka"):
+        for nodes in REPLICA_COUNTS:
+            preset = (
+                NetworkPreset.CLOUD_WAN if nodes > 20 else NetworkPreset.CLOUD_LAN_5G
+            )
+            metrics = run_oe(
+                "harmony",
+                workload_name,
+                scale,
+                consensus=consensus,
+                num_replicas=nodes,
+                network=preset,
+            )
+            result.add(consensus, nodes, metrics.throughput_tps, metrics.mean_latency_ms)
+    return result
+
+
+def figure17(scale: BenchScale | None = None) -> ExperimentResult:
+    return _bft("smallbank", scale)
+
+
+def figure18(scale: BenchScale | None = None) -> ExperimentResult:
+    return _bft("ycsb", scale)
+
+
+# --------------------------------------------------------------------------
+# Figure 19 — TPC-C
+# --------------------------------------------------------------------------
+def figure19(scale: BenchScale | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 19",
+        description="TPC-C: throughput/latency vs warehouse count",
+        headers=["system", "warehouses", "throughput_tps", "latency_ms"],
+    )
+    for system in OE_SYSTEMS:
+        for warehouses in WAREHOUSES:
+            metrics = run_oe(
+                system,
+                "tpcc",
+                scale,
+                workload_kwargs={"num_warehouses": warehouses},
+            )
+            result.add(
+                system, warehouses, metrics.throughput_tps, metrics.mean_latency_ms
+            )
+    result.notes.append(
+        "Fabric/FastFabric# excluded: no native relational model (paper §5.6)."
+    )
+    return result
+
+
+# --------------------------------------------------------------------------
+# Figure 20 — ablation study
+# --------------------------------------------------------------------------
+ABLATIONS = (
+    ("raw-HarmonyBC", HarmonyConfig(update_reorder=False, coalesce=False, inter_block=False)),
+    ("+update-reorder", HarmonyConfig(update_reorder=True, coalesce=False, inter_block=False)),
+    ("+update-coalesce", HarmonyConfig(update_reorder=True, coalesce=True, inter_block=False)),
+    ("HarmonyBC (+inter-block)", HarmonyConfig()),
+)
+
+CONTENTION_LEVELS = {
+    "ycsb": {"low": {"skew": 0.0}, "high": {"skew": 1.0}},
+    "smallbank": {"low": {"skew": 0.0}, "high": {"skew": 1.0}},
+    "tpcc": {
+        "low": {"workload_kwargs": {"num_warehouses": 80}},
+        "high": {"workload_kwargs": {"num_warehouses": 1}},
+    },
+}
+
+
+def figure20(scale: BenchScale | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 20",
+        description="ablation: throughput / abort rate / CPU utilization",
+        headers=[
+            "workload",
+            "contention",
+            "variant",
+            "throughput_tps",
+            "abort_rate",
+            "cpu_util",
+        ],
+    )
+    for workload_name, levels in CONTENTION_LEVELS.items():
+        for level, kwargs in levels.items():
+            for label, config in ABLATIONS:
+                metrics = run_oe(
+                    "harmony", workload_name, scale, harmony=config, **kwargs
+                )
+                result.add(
+                    workload_name,
+                    level,
+                    label,
+                    metrics.throughput_tps,
+                    metrics.abort_rate,
+                    metrics.cpu_utilization,
+                )
+    return result
+
+
+# --------------------------------------------------------------------------
+# Figure 21 — is Harmony still useful without disk overheads?
+# --------------------------------------------------------------------------
+def figure21(scale: BenchScale | None = None) -> ExperimentResult:
+    result = ExperimentResult(
+        name="Figure 21",
+        description="SSD vs RAMDisk vs memory engine (+ consensus ceiling)",
+        headers=["workload", "engine", "system", "throughput_ktps"],
+    )
+    profiles = (
+        ("PGSQL (SSD)", StorageProfile.SSD),
+        ("PGSQL (RAMDisk)", StorageProfile.RAMDISK),
+        ("memory engine", StorageProfile.MEMORY),
+    )
+    costs = CostModel()
+    consensus = HotStuffConsensus(
+        NetworkModel.preset(NetworkPreset.CLOUD_LAN_5G), costs, num_nodes=80
+    )
+    for workload_name in ("ycsb", "smallbank", "tpcc"):
+        for label, profile in profiles:
+            for system in ("aria", "harmony"):
+                metrics = run_oe(system, workload_name, scale, profile=profile)
+                result.add(
+                    workload_name, label, system, metrics.throughput_tps / 1000.0
+                )
+        result.add(
+            workload_name,
+            "consensus ceiling",
+            "hotstuff",
+            consensus.throughput_tps() / 1000.0,
+        )
+    return result
+
+
+#: registry used by the CLI and the bench files
+EXPERIMENTS = {
+    "figure1": figure1,
+    "table3": table3,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+    "figure11": figure11,
+    "figure12": figure12,
+    "figure13": figure13,
+    "figure14": figure14,
+    "figure15": figure15,
+    "figure16": figure16,
+    "figure17": figure17,
+    "figure18": figure18,
+    "figure19": figure19,
+    "figure20": figure20,
+    "figure21": figure21,
+}

@@ -1,0 +1,55 @@
+"""Blocks: hash-chained batches of transactions (Section 4, Security).
+
+Each block embeds the hash of its predecessor, so "any tampered block could
+be identified by back-tracing the hash values from the latest block". The
+block body is the ordered list of transaction *commands* (OE ships commands;
+SOV blocks additionally carry the endorsed read-write sets, which is the
+network-size difference Figures 15/16 measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.crypto import sha256_hex
+from repro.txn.transaction import TxnSpec
+
+GENESIS_HASH = "0" * 64
+
+
+def _canonical_spec(spec: TxnSpec) -> str:
+    return f"{spec.proc}({spec.params!r})"
+
+
+@dataclass
+class Block:
+    """One ordered, hash-chained batch."""
+
+    block_id: int
+    specs: tuple
+    prev_hash: str
+    first_tid: int
+    #: SOV only: endorsed runtime transactions travelling with the block
+    endorsed_txns: list = field(default_factory=list)
+    #: orderer's signature over the header
+    signature: str = ""
+    hash: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.hash:
+            self.hash = self.compute_hash()
+
+    def header_bytes(self) -> bytes:
+        body = ";".join(_canonical_spec(s) for s in self.specs)
+        return f"{self.block_id}|{self.first_tid}|{self.prev_hash}|{body}".encode()
+
+    def compute_hash(self) -> str:
+        return sha256_hex(self.header_bytes())
+
+    @property
+    def size(self) -> int:
+        return len(self.specs)
+
+    def verify_integrity(self, expected_prev_hash: str) -> bool:
+        """Check the hash chain and the block's own digest."""
+        return self.prev_hash == expected_prev_hash and self.hash == self.compute_hash()

@@ -1,0 +1,58 @@
+"""A replica node: ledger + storage engine + DCC executor.
+
+On receiving a block the node verifies its chain linkage and the orderer's
+signature, persists the input block (logical logging — Section 4,
+Recovery), instantiates the runtime transactions and hands them to its DCC
+executor. State hashes let tests assert replica consistency: every correct
+replica must reach the identical state from the same chain of blocks.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import Block
+from repro.chain.ledger import Ledger
+from repro.consensus.crypto import Signer
+from repro.execution import BlockExecution, DCCExecutor
+from repro.txn.transaction import Txn
+
+
+class ReplicaNode:
+    """One replica of the blockchain's database layer."""
+
+    def __init__(
+        self,
+        name: str,
+        executor: DCCExecutor,
+        orderer_signer: Signer | None = None,
+    ) -> None:
+        self.name = name
+        self.executor = executor
+        self.engine = executor.engine
+        self.ledger = Ledger()
+        self._orderer_signer = orderer_signer
+
+    def process_block(self, block: Block) -> BlockExecution:
+        """Verify, log, execute and append one block."""
+        verify_cost = self.engine.costs.hash_us
+        if self._orderer_signer is not None:
+            if not self._orderer_signer.verify(block.header_bytes(), block.signature):
+                raise ValueError(f"block {block.block_id}: bad orderer signature")
+            verify_cost += self.engine.costs.verify_us
+
+        self.ledger.append(block)  # raises TamperError on chain mismatch
+        self.engine.log_block_input(block)
+
+        if block.endorsed_txns:
+            txns = block.endorsed_txns  # SOV: rw-sets travel with the block
+        else:
+            txns = [
+                Txn(tid=block.first_tid + i, block_id=block.block_id, spec=spec)
+                for i, spec in enumerate(block.specs)
+            ]
+        execution = self.executor.execute_block(block.block_id, txns)
+        execution.pre_exec_serial_us += verify_cost
+        return execution
+
+    def state_hash(self) -> str:
+        """Replica-consistency fingerprint of the database state."""
+        return self.engine.state_hash()

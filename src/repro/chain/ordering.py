@@ -1,0 +1,42 @@
+"""Ordering service: collects transactions, cuts signed, hash-chained blocks.
+
+Functionally identical between OE blockchains and deterministic databases
+(Section 2.1.4: "the ordering service in OE is equivalent to the sequencing
+layer of deterministic databases"): it assigns globally increasing TIDs and
+broadcasts blocks; the consensus model attached to it prices latency and
+throughput ceilings.
+"""
+
+from __future__ import annotations
+
+from repro.chain.block import GENESIS_HASH, Block
+from repro.consensus.crypto import Signer
+from repro.txn.transaction import TxnSpec
+
+
+class OrderingService:
+    """Sequencer: TID assignment + block formation + hash chaining."""
+
+    def __init__(self, signer: Signer | None = None) -> None:
+        self._signer = signer or Signer("ordering-service")
+        self._next_tid = 0
+        self._prev_hash = GENESIS_HASH
+        self._next_block_id = 0
+
+    @property
+    def next_block_id(self) -> int:
+        return self._next_block_id
+
+    def form_block(self, specs: list[TxnSpec]) -> Block:
+        """Cut one block from ``specs``; deterministic and hash-chained."""
+        block = Block(
+            block_id=self._next_block_id,
+            specs=tuple(specs),
+            prev_hash=self._prev_hash,
+            first_tid=self._next_tid,
+        )
+        block.signature = self._signer.sign(block.header_bytes())
+        self._next_block_id += 1
+        self._next_tid += len(specs)
+        self._prev_hash = block.hash
+        return block

@@ -1,0 +1,255 @@
+"""Simulate-Order-Validate blockchain assembly: Fabric and FastFabric#.
+
+The SOV workflow (Section 2.1.1): (1) a client submits a transaction to
+endorsers, (2) each endorser simulates it against its *local latest* state
+— replicas lag behind by different amounts, so read-write sets may diverge
+— (3) the client reconciles them per its endorsement policy, (4) the
+ordering service cuts blocks of endorsed transactions, (5) validators check
+versions (Fabric) or signatures only (FastFabric#, whose orderer already
+built and pruned the dependency graph).
+
+Costs specific to SOV, all of which Figures 7/8 and 15/16 exercise:
+
+- two extra client round trips (endorsement and reconciliation);
+- blocks ship ~1.5 KB endorsed read-write sets per transaction instead of
+  ~128 B commands, so the ordering service's broadcast uplink saturates as
+  replicas are added;
+- serial validation and physical logging at every replica;
+- FastFabric#'s serial graph traversal on the ordering critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.block import Block
+from repro.chain.node import ReplicaNode
+from repro.chain.ordering import OrderingService
+from repro.consensus.crypto import Signer
+from repro.consensus.kafka import KafkaOrdering
+from repro.consensus.network import NetworkModel, NetworkPreset
+from repro.dcc.fabric import FabricValidator, endorsed_value_writes
+from repro.dcc.fastfabric import FastFabricOrderer, FastFabricValidator
+from repro.dcc.oracle import SerializabilityOracle
+from repro.sim.costs import CostModel, StorageProfile
+from repro.sim.metrics import RunMetrics
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import BlockTiming, PipelineSimulator
+from repro.storage.engine import StorageEngine
+from repro.storage.wal import LogMode
+from repro.txn.context import SimulationContext
+from repro.txn.transaction import AbortReason, Txn
+
+#: fixed per-transaction endorsement overhead: x509 certificates and
+#: signatures for the endorsement policy
+ENDORSED_BASE_BYTES = 1200
+#: per read-/write-set entry: key, version, value, proof
+ENDORSED_RECORD_BYTES = 300
+
+
+def endorsed_txn_bytes(records_per_txn: float) -> int:
+    return int(ENDORSED_BASE_BYTES + ENDORSED_RECORD_BYTES * records_per_txn)
+
+
+@dataclass
+class SOVConfig:
+    """Configuration of one Simulate-Order-Validate system run."""
+
+    system: str = "fabric"  # fabric | fastfabric
+    block_size: int = 50
+    num_blocks: int = 40
+    num_replicas: int = 4
+    cores: int = 8
+    endorsers: int = 2
+    #: endorsers lag behind the latest block by 0..max_endorser_lag blocks
+    max_endorser_lag: int = 2
+    network: NetworkPreset = NetworkPreset.DEFAULT_1G
+    profile: StorageProfile = StorageProfile.SSD
+    pool_pages: int = 48
+    checkpoint_interval: int = 10
+    max_graph_txns: int = 150
+    seed: int = 7
+    measure_false_aborts: bool = True
+    #: clients resubmit aborted transactions (fresh endorsement each time)
+    retry_aborted: bool = True
+
+
+class SOVBlockchain:
+    """Fabric-style blockchain bound to a workload."""
+
+    def __init__(self, config: SOVConfig, workload) -> None:
+        self.config = config
+        self.workload = workload
+        self.costs = CostModel()
+        self.network = NetworkModel.preset(config.network)
+        self.orderer_signer = Signer("ordering-service")
+        self.ordering = OrderingService(self.orderer_signer)
+        self.consensus = KafkaOrdering(self.network, self.costs)
+        self.registry = self.workload.build_registry()
+        self.node = self._build_node("replica-0")
+        self.fast_orderer = (
+            FastFabricOrderer(max_graph_txns=config.max_graph_txns)
+            if config.system == "fastfabric"
+            else None
+        )
+
+    def _build_node(self, name: str) -> ReplicaNode:
+        engine = StorageEngine(
+            costs=self.costs,
+            profile=self.config.profile,
+            pool_pages=self.config.pool_pages,
+            log_mode=LogMode.PHYSICAL,
+            checkpoint_interval=self.config.checkpoint_interval,
+        )
+        engine.preload(self.workload.initial_state())
+        if self.config.system == "fastfabric":
+            executor = FastFabricValidator(engine, self.workload.build_registry())
+        else:
+            executor = FabricValidator(engine, self.workload.build_registry())
+        return ReplicaNode(name, executor, self.orderer_signer)
+
+    # ------------------------------------------------------------ endorsing
+    def _endorse(self, txn: Txn, rng: SeededRng) -> float:
+        """Simulate ``txn`` on ``endorsers`` independently-lagged replicas.
+
+        Returns the endorsement CPU cost; marks the transaction aborted
+        (ENDORSEMENT_MISMATCH) when the endorsers' read sets diverge and the
+        client cannot assemble a valid endorsement.
+        """
+        store = self.node.engine.store
+        latest = store.last_committed_block
+        outcomes = []
+        cost = 0.0
+        for _ in range(self.config.endorsers):
+            lag = rng.randint(0, self.config.max_endorser_lag)
+            view_block = max(-1, latest - lag)
+            probe = Txn(tid=txn.tid, block_id=txn.block_id, spec=txn.spec)
+            ctx = SimulationContext(probe, store.snapshot(view_block), self.node.engine)
+            try:
+                probe.output = self.registry.execute(ctx)
+            except (KeyError, TypeError, ValueError):
+                probe.mark_aborted(AbortReason.EXECUTION_ERROR)
+            cost += ctx.cost_us
+            outcomes.append((view_block, probe))
+        versions = {tuple(sorted(p.read_set.items(), key=repr)) for _v, p in outcomes}
+        if len(versions) > 1:
+            txn.mark_aborted(AbortReason.ENDORSEMENT_MISMATCH)
+            return cost
+        view_block, chosen = outcomes[0]
+        txn.read_set = chosen.read_set
+        txn.read_ranges = chosen.read_ranges
+        txn.write_set = chosen.write_set
+        txn.updated_keys = chosen.updated_keys
+        txn.output = chosen.output
+        txn.status = chosen.status
+        txn.abort_reason = chosen.abort_reason
+        endorsed_value_writes(txn, store.snapshot(view_block))
+        return cost
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> RunMetrics:
+        config = self.config
+        rng = SeededRng(config.seed, f"sov/{config.system}/{self.workload.name}")
+        metrics = RunMetrics(system=config.system, workload=self.workload.name)
+
+        consensus_latency = None
+        endorsement_latency = None
+
+        timings: list[BlockTiming] = []
+        executions = []
+        retry_queue: list = []
+        next_tid = 0
+        arrival = 0.0
+        for i in range(config.num_blocks):
+            retries = retry_queue[: config.block_size]
+            retry_queue = retry_queue[config.block_size :]
+            specs = retries + self.workload.generate_block(
+                config.block_size - len(retries), rng
+            )
+            txns = [
+                Txn(tid=next_tid + j, block_id=i, spec=spec)
+                for j, spec in enumerate(specs)
+            ]
+            next_tid += len(specs)
+            for txn in txns:
+                self._endorse(txn, rng)
+
+            pre_exec = 0.0
+            if self.fast_orderer is not None:
+                outcome = self.fast_orderer.process(
+                    txns, state_view=self.node.engine.store.latest_snapshot()
+                )
+                ordered = outcome.ordered_txns + [t for t in txns if t.aborted]
+                pre_exec = outcome.traversal_cost_us
+            else:
+                ordered = txns
+
+            block = self._form_sov_block(i, specs, ordered)
+            execution = self.node.process_block(block)
+            execution.pre_exec_serial_us += pre_exec
+            execution.pre_exec_serial_us += block.size * self.costs.ingest_us
+            if config.measure_false_aborts:
+                execution.stats.false_aborts = SerializabilityOracle.count_false_aborts(
+                    execution.txns, chain_order=lambda t: t.tid
+                )
+            if config.retry_aborted:
+                retry_queue.extend(t.spec for t in execution.txns if t.aborted)
+            metrics.merge_block(execution.stats)
+            executions.append(execution)
+
+            # the rw-set broadcast paces block delivery (Figures 15/16)
+            records = sum(len(t.read_set) + len(t.write_set) for t in txns)
+            per_txn = records / max(1, len(txns))
+            block_bytes = len(txns) * endorsed_txn_bytes(per_txn)
+            interval = self.consensus.min_block_interval_us(
+                block_bytes, config.num_replicas
+            )
+            if consensus_latency is None:
+                consensus_latency = self.consensus.block_latency_us(
+                    block_bytes, config.num_replicas
+                )
+                # two extra client round trips plus the rw-set upload
+                endorsement_latency = (
+                    4 * self.network.one_way_us
+                    + self.network.transfer_us(endorsed_txn_bytes(per_txn))
+                )
+            timings.append(
+                BlockTiming(
+                    arrival_us=arrival,
+                    sim_durations=execution.sim_durations_us,
+                    commit_durations=execution.commit_durations_us,
+                    serial_commit=execution.serial_commit,
+                    pre_exec_serial_us=execution.pre_exec_serial_us,
+                    post_commit_serial_us=execution.post_commit_serial_us,
+                )
+            )
+            arrival += interval
+
+        scheduler = PipelineSimulator(num_cores=config.cores, inter_block=False)
+        result = scheduler.simulate(timings)
+        metrics.sim_time_us = result.makespan_us
+        metrics.cpu_utilization = result.cpu_utilization
+        for i, execution in enumerate(executions):
+            started = timings[i].arrival_us
+            if i > 0:
+                started = max(started, result.commit_finish_us[i - 1])
+            block_latency = (
+                endorsement_latency
+                + consensus_latency
+                + (result.commit_finish_us[i] - started)
+                + self.network.worst_one_way_us(config.num_replicas)
+            )
+            metrics.latencies_us.extend([block_latency] * execution.stats.committed)
+        engine = self.node.engine
+        metrics.io_reads = engine.io_reads
+        metrics.io_writes = engine.io_writes
+        metrics.buffer_hits = engine.buffer_hits
+        metrics.buffer_misses = engine.buffer_misses
+        metrics.extra["state_hash"] = self.node.state_hash()
+        metrics.extra["ledger_ok"] = self.node.ledger.verify_chain()
+        return metrics
+
+    def _form_sov_block(self, block_id: int, specs, ordered_txns) -> Block:
+        block = self.ordering.form_block(list(specs))
+        block.endorsed_txns = list(ordered_txns)
+        return block

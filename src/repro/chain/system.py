@@ -1,0 +1,212 @@
+"""Order-Execute blockchain assembly: HarmonyBC, AriaBC, RBC, serial.
+
+``OEBlockchain.run()`` drives the full pipeline for one replica (all
+replicas are deterministic copies — ``consistency_check`` proves it by
+running a second one) and prices the run:
+
+- the ordering service paces block arrivals (consensus model: Kafka or
+  HotStuff — never the bottleneck for disk-oriented layers, Figure 1);
+- each block executes through the replica's DCC executor, yielding decision
+  stats and task durations;
+- the pipeline scheduler (with inter-block parallelism iff the executor
+  supports it) turns durations into makespan, latency and CPU utilization;
+- the serializability oracle counts false aborts per block (Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.node import ReplicaNode
+from repro.chain.ordering import OrderingService
+from repro.consensus.crypto import Signer
+from repro.consensus.hotstuff import HotStuffConsensus
+from repro.consensus.kafka import KafkaOrdering
+from repro.consensus.network import NetworkModel, NetworkPreset
+from repro.core.harmony import HarmonyConfig, HarmonyExecutor
+from repro.dcc.aria import AriaExecutor
+from repro.dcc.oracle import SerializabilityOracle
+from repro.dcc.rbc import RBCExecutor
+from repro.dcc.serial import SerialExecutor
+from repro.sim.costs import CostModel, StorageProfile
+from repro.sim.metrics import RunMetrics
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import BlockTiming, PipelineSimulator
+from repro.storage.engine import StorageEngine
+from repro.storage.wal import LogMode
+
+#: bytes shipped per transaction command in an OE block (vs the ~1.5 KB
+#: endorsed read-write sets SOV ships — the Figures 15/16 asymmetry).
+COMMAND_BYTES = 128
+
+
+@dataclass
+class OEConfig:
+    """Configuration of one Order-Execute system run."""
+
+    system: str = "harmony"  # harmony | aria | rbc | serial
+    block_size: int = 25
+    num_blocks: int = 40
+    num_replicas: int = 4
+    cores: int = 8
+    consensus: str = "kafka"  # kafka | hotstuff
+    network: NetworkPreset = NetworkPreset.DEFAULT_1G
+    profile: StorageProfile = StorageProfile.SSD
+    pool_pages: int = 48
+    checkpoint_interval: int = 10
+    harmony: HarmonyConfig = field(default_factory=HarmonyConfig)
+    aria_reordering: bool = True
+    seed: int = 7
+    measure_false_aborts: bool = True
+    #: clients resubmit aborted transactions; retries consume block slots,
+    #: so high-abort protocols pay for their aborts in throughput
+    retry_aborted: bool = True
+
+
+def build_executor(config: OEConfig, engine: StorageEngine, registry):
+    if config.system == "harmony":
+        return HarmonyExecutor(engine, registry, config.harmony)
+    if config.system == "aria":
+        return AriaExecutor(engine, registry, config.aria_reordering)
+    if config.system == "rbc":
+        return RBCExecutor(engine, registry)
+    if config.system == "serial":
+        return SerialExecutor(engine, registry)
+    raise ValueError(f"unknown OE system {config.system!r}")
+
+
+def build_system(config: OEConfig, workload) -> "OEBlockchain":
+    """Convenience constructor used by the bench harness and examples."""
+    return OEBlockchain(config, workload)
+
+
+class OEBlockchain:
+    """One Order-Execute blockchain bound to a workload."""
+
+    def __init__(self, config: OEConfig, workload) -> None:
+        self.config = config
+        self.workload = workload
+        self.costs = CostModel()
+        self.network = NetworkModel.preset(config.network)
+        self.orderer_signer = Signer("ordering-service")
+        self.ordering = OrderingService(self.orderer_signer)
+        self.node = self._build_node("replica-0")
+        if config.consensus == "hotstuff":
+            self.consensus = HotStuffConsensus(
+                self.network, self.costs, num_nodes=max(4, config.num_replicas)
+            )
+        else:
+            self.consensus = KafkaOrdering(self.network, self.costs)
+
+    def _build_node(self, name: str) -> ReplicaNode:
+        engine = StorageEngine(
+            costs=self.costs,
+            profile=self.config.profile,
+            pool_pages=self.config.pool_pages,
+            log_mode=LogMode.LOGICAL,
+            checkpoint_interval=self.config.checkpoint_interval,
+        )
+        engine.preload(self.workload.initial_state())
+        registry = self.workload.build_registry()
+        executor = build_executor(self.config, engine, registry)
+        return ReplicaNode(name, executor, self.orderer_signer)
+
+    # ------------------------------------------------------------------ run
+    def _block_bytes(self) -> int:
+        return self.config.block_size * COMMAND_BYTES
+
+    def _inter_block_enabled(self) -> bool:
+        return self.config.system == "harmony" and self.config.harmony.inter_block
+
+    def run(self) -> RunMetrics:
+        config = self.config
+        rng = SeededRng(config.seed, f"oe/{config.system}/{self.workload.name}")
+        metrics = RunMetrics(system=config.system, workload=self.workload.name)
+
+        interval = self.consensus.min_block_interval_us(
+            self._block_bytes(), config.num_replicas
+        )
+        consensus_latency = self._consensus_latency_us()
+
+        timings: list[BlockTiming] = []
+        executions = []
+        retry_queue: list = []
+        for i in range(config.num_blocks):
+            retries = retry_queue[: config.block_size]
+            retry_queue = retry_queue[config.block_size :]
+            fresh = self.workload.generate_block(
+                config.block_size - len(retries), rng
+            )
+            block = self.ordering.form_block(retries + fresh)
+            execution = self.node.process_block(block)
+            # serial front-end: deserialize + dispatch each transaction
+            execution.pre_exec_serial_us += block.size * self.costs.ingest_us
+            if config.retry_aborted:
+                retry_queue.extend(t.spec for t in execution.txns if t.aborted)
+            if config.measure_false_aborts:
+                execution.stats.false_aborts = SerializabilityOracle.count_false_aborts(
+                    execution.txns
+                )
+            metrics.merge_block(execution.stats)
+            executions.append(execution)
+            timings.append(
+                BlockTiming(
+                    arrival_us=i * interval,
+                    sim_durations=execution.sim_durations_us,
+                    commit_durations=execution.commit_durations_us,
+                    serial_commit=execution.serial_commit,
+                    pre_exec_serial_us=execution.pre_exec_serial_us,
+                    post_commit_serial_us=execution.post_commit_serial_us,
+                )
+            )
+
+        lag = config.harmony.snapshot_lag if self._inter_block_enabled() else 2
+        scheduler = PipelineSimulator(
+            num_cores=config.cores,
+            inter_block=self._inter_block_enabled(),
+            snapshot_lag=lag,
+        )
+        result = scheduler.simulate(timings)
+
+        metrics.sim_time_us = result.makespan_us
+        metrics.cpu_utilization = result.cpu_utilization
+        for i, execution in enumerate(executions):
+            # Per-block service latency (backlog excluded): what a client
+            # observes at sustainable load — consensus, execution from the
+            # moment the replica could start this block, and the reply hop.
+            started = timings[i].arrival_us
+            if i > 0:
+                started = max(started, result.commit_finish_us[i - 1])
+            block_latency = (
+                consensus_latency
+                + (result.commit_finish_us[i] - started)
+                + self.network.worst_one_way_us(config.num_replicas)
+            )
+            metrics.latencies_us.extend([block_latency] * execution.stats.committed)
+        engine = self.node.engine
+        metrics.io_reads = engine.io_reads
+        metrics.io_writes = engine.io_writes
+        metrics.buffer_hits = engine.buffer_hits
+        metrics.buffer_misses = engine.buffer_misses
+        metrics.extra["state_hash"] = self.node.state_hash()
+        metrics.extra["ledger_ok"] = self.node.ledger.verify_chain()
+        return metrics
+
+    def _consensus_latency_us(self) -> float:
+        if isinstance(self.consensus, HotStuffConsensus):
+            return self.consensus.block_latency_us()
+        return self.consensus.block_latency_us(
+            self._block_bytes(), self.config.num_replicas
+        )
+
+    # -------------------------------------------------------------- checks
+    def consistency_check(self) -> bool:
+        """Run a second replica over the same chain; states must match.
+
+        Deterministic DCC means replicas need no coordination — this check
+        is the paper's core replica-consistency claim, exercised for real.
+        """
+        other = self._build_node("replica-1")
+        for block in self.node.ledger.blocks():
+            other.process_block(block)
+        return other.state_hash() == self.node.state_hash()

@@ -1,0 +1,29 @@
+"""Consensus layer: pluggable ordering services (Section 4).
+
+HarmonyBC's consensus layer is a pluggable module; the paper evaluates a
+crash-fault-tolerant Kafka ordering service (default) and Byzantine-fault-
+tolerant HotStuff. Both are modelled analytically on top of the network
+model: the evaluation's claims about them (Figures 1, 17, 18) concern
+throughput ceilings and latency floors, not internals.
+
+- :mod:`repro.consensus.crypto` — hash chaining and keyed "signatures"
+  with metered sign/verify costs.
+- :mod:`repro.consensus.network` — latency/bandwidth presets (default
+  1 Gbps cluster, cloud LAN 5 Gbps, 4-continent WAN).
+- :mod:`repro.consensus.kafka` — CFT ordering.
+- :mod:`repro.consensus.hotstuff` — 3-phase pipelined BFT.
+"""
+
+from repro.consensus.crypto import Signer, sha256_hex
+from repro.consensus.hotstuff import HotStuffConsensus
+from repro.consensus.kafka import KafkaOrdering
+from repro.consensus.network import NetworkModel, NetworkPreset
+
+__all__ = [
+    "HotStuffConsensus",
+    "KafkaOrdering",
+    "NetworkModel",
+    "NetworkPreset",
+    "Signer",
+    "sha256_hex",
+]

@@ -1,0 +1,76 @@
+"""Network model: the paper's three cluster settings.
+
+- ``DEFAULT_1G`` — the default 7-node cluster: 1 Gbps Ethernet.
+- ``CLOUD_LAN_5G`` — 80 t3.2xlarge instances in one region (5 Gbps).
+- ``CLOUD_WAN`` — the same instances across 4 continents (Ohio, Mumbai,
+  Sydney, Stockholm): cross-region one-way latency dominates.
+
+Throughput ceilings come from uplink serialization (bytes × fan-out /
+bandwidth); latency terms come from one-way delays. Figures 15–18 are
+driven entirely by these two quantities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class NetworkPreset(enum.Enum):
+    DEFAULT_1G = "default-1g"
+    CLOUD_LAN_5G = "cloud-lan-5g"
+    CLOUD_WAN = "cloud-wan"
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point latency plus a shared per-node uplink."""
+
+    one_way_us: float
+    bandwidth_mbps: float
+    #: one-way latency between different regions (WAN); same as
+    #: ``one_way_us`` for single-region presets.
+    cross_region_one_way_us: float = None  # type: ignore[assignment]
+    regions: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cross_region_one_way_us is None:
+            object.__setattr__(self, "cross_region_one_way_us", self.one_way_us)
+
+    @staticmethod
+    def preset(which: NetworkPreset) -> "NetworkModel":
+        if which is NetworkPreset.DEFAULT_1G:
+            return NetworkModel(one_way_us=150.0, bandwidth_mbps=1000.0)
+        if which is NetworkPreset.CLOUD_LAN_5G:
+            return NetworkModel(one_way_us=100.0, bandwidth_mbps=5000.0)
+        return NetworkModel(
+            one_way_us=100.0,
+            bandwidth_mbps=5000.0,
+            cross_region_one_way_us=75_000.0,
+            regions=4,
+        )
+
+    def transfer_us(self, nbytes: int) -> float:
+        """Serialization delay of ``nbytes`` on one uplink."""
+        return nbytes * 8 / self.bandwidth_mbps  # Mbps == bits/us
+
+    def broadcast_us(self, nbytes: int, fanout: int) -> float:
+        """Serialize ``nbytes`` to ``fanout`` peers over one shared uplink."""
+        return self.transfer_us(nbytes) * max(0, fanout)
+
+    def worst_one_way_us(self, num_nodes: int) -> float:
+        """Worst one-way delay to reach ``num_nodes`` peers.
+
+        With a geo-distributed deployment the worst path crosses regions as
+        soon as nodes spill beyond one region (the paper places 20 per
+        region: more than 20 nodes => WAN latencies).
+        """
+        if self.regions <= 1:
+            return self.one_way_us
+        per_region = 20
+        if num_nodes <= per_region:
+            return self.one_way_us
+        return self.cross_region_one_way_us
+
+    def rtt_us(self, num_nodes: int = 1) -> float:
+        return 2.0 * self.worst_one_way_us(num_nodes)

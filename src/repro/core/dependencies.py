@@ -1,0 +1,75 @@
+"""rw-dependency detection within a block.
+
+A transaction ``R`` rw-depends on ``W`` (``R --rw--> W``) when ``R`` reads a
+before-image of ``W``'s writes. Under block-snapshot execution every read in
+a block sees the snapshot, so the edge exists whenever ``R`` reads (or
+range-scans over) a key that ``W`` writes, for ``R != W``.
+
+Predicate reads are covered: a scan registers its half-open range, and any
+write landing inside the range raises the same event — "Harmony does not
+have phantoms because a predicate-read will also trigger
+on_seeing_rw_dependency" (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.txn.transaction import Txn
+
+
+@dataclass(frozen=True)
+class RWEdge:
+    """``reader --rw--> writer`` on ``key`` (reader saw the before-image)."""
+
+    reader_tid: int
+    writer_tid: int
+    key: object
+
+
+class BlockDependencyIndex:
+    """Per-block index of point reads, range reads and writes."""
+
+    def __init__(self, txns: list[Txn]) -> None:
+        self.txns = txns
+        self._by_tid = {t.tid: t for t in txns}
+        self._point_readers: dict[object, list[int]] = {}
+        self._range_readers: list[tuple[object, object, int]] = []
+        self._writers: dict[object, list[int]] = {}
+        for txn in txns:
+            for key in txn.read_set:
+                self._point_readers.setdefault(key, []).append(txn.tid)
+            for start, end in txn.read_ranges:
+                self._range_readers.append((start, end, txn.tid))
+            for key in txn.write_set:
+                self._writers.setdefault(key, []).append(txn.tid)
+
+    def txn(self, tid: int) -> Txn:
+        return self._by_tid[tid]
+
+    def writers_of(self, key: object) -> list[int]:
+        return self._writers.get(key, [])
+
+    def readers_of(self, key: object) -> list[int]:
+        """Point readers plus range readers whose range covers ``key``."""
+        readers = list(self._point_readers.get(key, []))
+        for start, end, tid in self._range_readers:
+            try:
+                covers = start <= key < end
+            except TypeError:
+                covers = False
+            if covers and tid not in readers:
+                readers.append(tid)
+        return readers
+
+    def written_keys(self) -> Iterator[object]:
+        return iter(self._writers)
+
+    def rw_edges(self) -> Iterator[RWEdge]:
+        """All intra-block rw edges, each (reader, writer, key) once."""
+        for key, writer_tids in self._writers.items():
+            for reader_tid in self.readers_of(key):
+                for writer_tid in writer_tids:
+                    if reader_tid != writer_tid:
+                        yield RWEdge(reader_tid, writer_tid, key)

@@ -1,0 +1,116 @@
+"""The Harmony block executor (Sections 3.1–3.4).
+
+Pipeline per block: simulate against the block snapshot → validate (Rule 1,
+or Rule 3 with inter-block parallelism) → reorder & coalesce updates
+(Rule 2) → install writes, group-commit the logical log, checkpoint every
+*p* blocks.
+
+``HarmonyConfig`` exposes the ablation switches of Figure 20:
+
+- ``update_reorder=False`` → raw-Harmony aborts ww losers Aria-style;
+- ``coalesce=False`` → each updater performs its own physical update;
+- ``inter_block=False`` → block *i* waits for block *i−1* and simulates
+  against its snapshot (lag 1) instead of overlapping with it (lag 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.reordering import apply_write_sets
+from repro.core.validation import HarmonyValidator, PrevBlockRecords
+from repro.execution import BlockExecution, DCCExecutor, simulate_transactions
+from repro.storage.engine import StorageEngine
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import Txn
+
+
+@dataclass(frozen=True)
+class HarmonyConfig:
+    """Feature switches; the default is full HarmonyBC."""
+
+    update_reorder: bool = True
+    coalesce: bool = True
+    inter_block: bool = True
+    snapshot_lag: int = 2
+
+    @property
+    def effective_lag(self) -> int:
+        return self.snapshot_lag if self.inter_block else 1
+
+    def label(self) -> str:
+        """Ablation label matching Figure 20's legend."""
+        if not self.update_reorder:
+            return "raw-Harmony"
+        if not self.coalesce:
+            return "+update-reorder"
+        if not self.inter_block:
+            return "+update-coalesce"
+        return "Harmony"
+
+
+class HarmonyExecutor(DCCExecutor):
+    """Harmony DCC bound to a storage engine (one replica's database layer)."""
+
+    name = "harmony"
+    parallel_commit = True
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        registry: ProcedureRegistry,
+        config: HarmonyConfig | None = None,
+    ) -> None:
+        super().__init__(engine, registry)
+        self.config = config or HarmonyConfig()
+        self._validator = HarmonyValidator(
+            inter_block=self.config.inter_block,
+            update_reorder=self.config.update_reorder,
+        )
+        #: committed reader/writer facts of the previous block (Rule 3)
+        self._prev_records = PrevBlockRecords()
+
+    def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
+        snapshot = self.snapshot_for(block_id, lag=self.config.effective_lag)
+        sim_durations = simulate_transactions(txns, snapshot, self.registry, self.engine)
+
+        vstats = self._validator.validate(
+            txns,
+            self._prev_records if self.config.inter_block else None,
+        )
+
+        reorder = apply_write_sets(
+            txns,
+            read_base=self.read_base,
+            write_cost=self.engine.write_cost,
+            op_cpu_us=self.engine.costs.op_cpu_us,
+            do_coalesce=self.config.coalesce,
+        )
+
+        self._prev_records = HarmonyValidator.records_for(txns)
+
+        tail_us = self.engine.apply_block(block_id, reorder.ordered_writes)
+        tail_us += self.engine.checkpoint_if_due(
+            block_id, meta={"prev_records": self._prev_records}
+        )
+
+        stats = self.make_stats(block_id, txns)
+        stats.dangerous_structure_hits = vstats.dangerous_structure_hits
+
+        commit_durations = [sum(item.chain_durations_us) for item in reorder.key_applies]
+        commit_durations.extend(reorder.txn_commit_cpu_us.values())
+        return BlockExecution(
+            block_id=block_id,
+            txns=txns,
+            sim_durations_us=sim_durations,
+            commit_durations_us=commit_durations,
+            serial_commit=False,
+            post_commit_serial_us=tail_us,
+            stats=stats,
+            key_applies=reorder.key_applies,
+            snapshot_block_id=block_id - self.config.effective_lag,
+        )
+
+    def restore_records(self, records: PrevBlockRecords) -> None:
+        """Reinstate Rule-3 records after recovery from a checkpoint."""
+        self._prev_records = records or PrevBlockRecords()

@@ -1,0 +1,121 @@
+"""Update reordering and coalescence (Rule 2, Algorithm 2).
+
+After validation the rw-subgraph is free of backward dangerous structures,
+and Theorem 2 guarantees that ascending ``min_out`` order (ties by TID) is a
+topological order of it. So instead of a graph traversal, each key's
+surviving update commands are *quick-sorted* by ``(min_out, tid)``,
+coalesced into one command (Figure 5b), and applied by whichever committing
+transaction reaches the key first — one index lookup, one latch, one page
+write per key, regardless of how many transactions updated it. That is the
+hotspot-resiliency mechanism of Figure 14.
+
+The two ablation switches reproduce Figure 20's bars:
+
+- ``coalesce=False`` — commands still apply in Rule-2 order but each
+  transaction performs its own physical update (duplicated I/O and a serial
+  chain per key);
+- reordering itself is disabled one layer up (the validator aborts ww
+  losers), after which every key has at most one updater.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.txn.commands import apply_safely, coalesce
+from repro.txn.transaction import Txn
+
+
+@dataclass
+class KeyApply:
+    """One key's commit-step work item."""
+
+    key: object
+    #: committing updaters in Rule-2 order
+    updater_tids: list[int]
+    #: the transaction that physically applies the (coalesced) update
+    handler_tid: int
+    #: simulated duration(s): one entry when coalesced, one per updater when
+    #: not (they form a serial chain on the key's page).
+    chain_durations_us: list[float] = field(default_factory=list)
+    final_value: object = None
+
+
+@dataclass
+class ReorderingResult:
+    """Outcome of the commit step's write application."""
+
+    #: ordered (key, value) writes, apply order == version seq order
+    ordered_writes: list = field(default_factory=list)
+    #: one entry per written key (the commit step's parallel task list)
+    key_applies: list = field(default_factory=list)
+    #: per-transaction extra commit CPU (validation bookkeeping)
+    txn_commit_cpu_us: dict = field(default_factory=dict)
+
+
+def apply_write_sets(
+    txns: list[Txn],
+    read_base,
+    write_cost,
+    op_cpu_us: float = 1.0,
+    do_coalesce: bool = True,
+) -> ReorderingResult:
+    """Evaluate surviving transactions' update commands (Algorithm 2).
+
+    ``txns`` is the block in TID order, with statuses already decided by the
+    validator (aborted transactions are filtered here, line #13 of
+    Algorithm 2). ``read_base(key)`` returns the pre-block value of a key —
+    the store's latest committed version. ``write_cost(key)`` charges one
+    physical update of the key's page and returns its simulated cost.
+
+    Returns the ordered writes to install plus the commit step's task
+    durations for the scheduler.
+    """
+    result = ReorderingResult()
+
+    # update_reservation: key -> updater txns, in TID order (deterministic).
+    reservation: dict[object, list[Txn]] = {}
+    for txn in txns:
+        if txn.aborted:
+            continue
+        for key in txn.updated_keys:
+            reservation.setdefault(key, []).append(txn)
+
+    for txn in txns:
+        if not txn.aborted:
+            txn.mark_committed()
+            result.txn_commit_cpu_us[txn.tid] = op_cpu_us
+
+    # Apply per key: sort by (min_out, tid) — Rule 2 — then coalesce.
+    for key in sorted(reservation, key=repr):
+        updaters = sorted(reservation[key], key=lambda t: (t.min_out, t.tid))
+        commands = [t.write_set[key] for t in updaters]
+        handler = updaters[0]
+        apply_item = KeyApply(
+            key=key,
+            updater_tids=[t.tid for t in updaters],
+            handler_tid=handler.tid,
+        )
+
+        base = read_base(key)
+        if do_coalesce:
+            merged = coalesce(commands)
+            value = apply_safely(merged, base)
+            apply_item.chain_durations_us.append(
+                write_cost(key) + op_cpu_us * len(commands)
+            )
+        else:
+            value = base
+            for command in commands:
+                value = apply_safely(command, value)
+                # every updater pays its own lookup + page write (Figure 5a)
+                apply_item.chain_durations_us.append(write_cost(key) + op_cpu_us)
+        apply_item.final_value = value
+        result.key_applies.append(apply_item)
+        if value is None:
+            # Every command no-oped on a missing base: nothing to install.
+            continue
+        # Tombstones are stored as-is; SnapshotView.get() hides them.
+        result.ordered_writes.append((key, value))
+
+    return result

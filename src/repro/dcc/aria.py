@@ -1,0 +1,115 @@
+"""Aria: deterministic OCC from the deterministic-database world.
+
+Per the Aria paper (Lu et al., VLDB 2020) and Section 2.2.2: every
+transaction in a block executes against the block snapshot and *reserves*
+its writes; the reservation table awards each key to the smallest TID.
+A transaction ``T`` aborts when:
+
+- **WAW**: a smaller TID reserved a key ``T`` writes (Figure 2 — "on seeing
+  a ww-dependency, Aria aborts the one with a larger TID"); or
+- without the reordering optimization, **RAW**: ``T`` read a key a smaller
+  TID writes;
+- with Aria's deterministic reordering (default here, as in AriaBC),
+  **RAW and WAR**: the abort happens only when ``T`` both read a
+  smaller-TID writer's key *and* wrote a key some smaller TID read.
+
+Surviving transactions have disjoint write sets, so the commit step applies
+evaluated values fully in parallel. The price is the high abort rate under
+ww contention that Harmony's update reordering removes.
+"""
+
+from __future__ import annotations
+
+from repro.execution import BlockExecution, DCCExecutor, simulate_transactions
+from repro.storage.engine import StorageEngine
+from repro.txn.commands import apply_safely
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import AbortReason, Txn
+
+
+class AriaExecutor(DCCExecutor):
+    """Aria DCC bound to a storage engine (AriaBC's database layer)."""
+
+    name = "aria"
+    parallel_commit = True
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        registry: ProcedureRegistry,
+        deterministic_reordering: bool = True,
+    ) -> None:
+        super().__init__(engine, registry)
+        self.deterministic_reordering = deterministic_reordering
+
+    def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
+        snapshot = self.engine.snapshot(block_id - 1)
+        sim_durations = simulate_transactions(txns, snapshot, self.registry, self.engine)
+
+        write_reservations: dict[object, int] = {}
+        read_reservations: dict[object, int] = {}
+        for txn in sorted(txns, key=lambda t: t.tid):
+            if txn.aborted:
+                continue
+            for key in txn.write_set:
+                write_reservations.setdefault(key, txn.tid)
+            for key in txn.read_set:
+                read_reservations.setdefault(key, txn.tid)
+
+        committed: list[Txn] = []
+        for txn in sorted(txns, key=lambda t: t.tid):
+            if txn.aborted:
+                continue
+            waw = any(
+                write_reservations.get(key, txn.tid) < txn.tid for key in txn.write_set
+            )
+            raw = any(
+                write_reservations.get(key, txn.tid) < txn.tid for key in txn.read_set
+            )
+            if not raw and txn.read_ranges:
+                raw = any(
+                    owner < txn.tid and txn.reads(key)
+                    for key, owner in write_reservations.items()
+                )
+            war = any(
+                read_reservations.get(key, txn.tid) < txn.tid for key in txn.write_set
+            )
+            if waw:
+                txn.mark_aborted(AbortReason.WAW)
+                continue
+            if self.deterministic_reordering:
+                if raw and war:
+                    txn.mark_aborted(AbortReason.RAW)
+                    continue
+            elif raw:
+                txn.mark_aborted(AbortReason.RAW)
+                continue
+            txn.mark_committed()
+            committed.append(txn)
+
+        # Parallel commit: disjoint write sets, values evaluated against the
+        # block snapshot (Aria ships values, not commands).
+        commit_durations: list[float] = []
+        ordered_writes: list[tuple[object, object]] = []
+        for txn in committed:
+            cost = self.engine.costs.op_cpu_us
+            for key in txn.updated_keys:
+                base, _version = snapshot.get(key)
+                ordered_writes.append((key, apply_safely(txn.write_set[key], base)))
+                cost += self.engine.write_cost(key)
+            txn.commit_cost_us = cost
+            commit_durations.append(cost)
+
+        ordered_writes.sort(key=lambda kv: repr(kv[0]))
+        tail = self.engine.apply_block(block_id, ordered_writes)
+        tail += self.engine.checkpoint_if_due(block_id)
+
+        return BlockExecution(
+            block_id=block_id,
+            txns=txns,
+            sim_durations_us=sim_durations,
+            commit_durations_us=commit_durations,
+            serial_commit=False,
+            post_commit_serial_us=tail,
+            stats=self.make_stats(block_id, txns),
+        )

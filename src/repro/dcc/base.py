@@ -1,0 +1,9 @@
+"""Baseline-protocol base types.
+
+Thin re-export of :mod:`repro.execution` so the baselines (and user code)
+can import everything DCC-related from one place.
+"""
+
+from repro.execution import BlockExecution, DCCExecutor, simulate_transactions
+
+__all__ = ["BlockExecution", "DCCExecutor", "simulate_transactions"]

@@ -1,0 +1,220 @@
+"""Exact serializability checking — the measurement oracle.
+
+Two uses:
+
+1. **False-abort accounting** (Figure 13). An abort of ``T`` is *false*
+   iff the dependency graph induced by (committed ∪ {T}) is acyclic — i.e.
+   a scheduler with perfect information (and command reordering) could have
+   committed ``T``. This is protocol-agnostic: it measures the workload's
+   inherent conflicts against what the protocol actually aborted.
+
+2. **Test oracle.** Every protocol's committed set must induce an acyclic
+   dependency graph (serializability), both within a block and across
+   blocks under inter-block parallelism (:class:`HistoryOracle`).
+
+Graph construction (multi-version semantics):
+
+- per key, committed updaters form a chain in apply order (Rule 2 order for
+  Harmony; TID/commit order for the value-based baselines) — ww/wr edges;
+- a snapshot reader of a key precedes every updater whose write it did not
+  observe (rw anti-dependency), and follows every updater whose write it
+  did observe (wr);
+- range reads contribute the same edges for every key they cover.
+
+Cycle detection is an iterative three-colour DFS (no recursion limits); the
+test suite cross-checks it against :mod:`networkx`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.txn.transaction import Txn
+
+
+def has_cycle(adjacency: dict[int, set[int]]) -> bool:
+    """Iterative DFS cycle check over an adjacency mapping."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: dict[int, int] = {}
+    for root in adjacency:
+        if colour.get(root, WHITE) != WHITE:
+            continue
+        stack: list[tuple[int, iter]] = [(root, iter(adjacency.get(root, ())))]
+        colour[root] = GREY
+        while stack:
+            node, edges = stack[-1]
+            advanced = False
+            for nxt in edges:
+                state = colour.get(nxt, WHITE)
+                if state == GREY:
+                    return True
+                if state == WHITE:
+                    colour[nxt] = GREY
+                    stack.append((nxt, iter(adjacency.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return False
+
+
+def _covers(txn: Txn, key: object) -> bool:
+    if key in txn.read_set:
+        return True
+    for start, end in txn.read_ranges:
+        try:
+            if start <= key < end:
+                return True
+        except TypeError:
+            continue
+    return False
+
+
+def block_dependency_graph(
+    txns: list[Txn],
+    chain_order=lambda t: (t.min_out, t.tid),
+) -> dict[int, set[int]]:
+    """Dependency graph of one block's transactions (snapshot reads).
+
+    ``txns`` is the node set (typically the committed set, optionally plus
+    one hypothetically-committed abortee). All reads are snapshot reads, so
+    a reader precedes every updater of the key; updaters of a key are
+    chained in ``chain_order``.
+    """
+    adjacency: dict[int, set[int]] = {t.tid: set() for t in txns}
+    writers: dict[object, list[Txn]] = {}
+    for txn in txns:
+        for key in txn.write_set:
+            writers.setdefault(key, []).append(txn)
+
+    for key, updaters in writers.items():
+        ordered = sorted(updaters, key=chain_order)
+        # ww/wr chain in apply order
+        for earlier, later in zip(ordered, ordered[1:]):
+            adjacency[earlier.tid].add(later.tid)
+        # snapshot readers precede every updater (rw anti-dependency)
+        for txn in txns:
+            if _covers(txn, key):
+                for updater in updaters:
+                    if updater.tid != txn.tid:
+                        adjacency[txn.tid].add(updater.tid)
+    return adjacency
+
+
+class SerializabilityOracle:
+    """Per-block serializability checks and false-abort accounting."""
+
+    @staticmethod
+    def committed_is_serializable(txns: list[Txn], chain_order=None) -> bool:
+        committed = [t for t in txns if t.committed]
+        order = chain_order or (lambda t: (t.min_out, t.tid))
+        return not has_cycle(block_dependency_graph(committed, order))
+
+    @staticmethod
+    def count_false_aborts(txns: list[Txn], chain_order=None) -> int:
+        """Aborts that perfect intra-block scheduling could have avoided."""
+        order = chain_order or (lambda t: (t.min_out, t.tid))
+        committed = [t for t in txns if t.committed]
+        false_count = 0
+        for txn in txns:
+            if not txn.aborted:
+                continue
+            graph = block_dependency_graph(committed + [txn], order)
+            if not has_cycle(graph):
+                false_count += 1
+        return false_count
+
+
+@dataclass
+class _WritePosition:
+    """Where a committed write landed: (block, position-in-key-chain)."""
+
+    block_id: int
+    chain_pos: int
+    tid: int
+
+
+@dataclass
+class HistoryOracle:
+    """Serializability across blocks (the inter-block-parallelism check).
+
+    Executors feed each block's committed transactions plus the per-key
+    apply chains; the oracle rebuilds the full multi-version dependency
+    graph of the history and checks it for cycles.
+    """
+
+    _read_facts: dict[int, dict] = field(default_factory=dict)
+    _range_facts: dict[int, list] = field(default_factory=dict)
+    _snapshot_block: dict[int, int] = field(default_factory=dict)
+    _chains: dict[object, list] = field(default_factory=dict)
+    _tids: list[int] = field(default_factory=list)
+
+    def record_block(
+        self,
+        block_id: int,
+        txns: list[Txn],
+        key_applies,
+        snapshot_block_id: int | None = None,
+    ) -> None:
+        snap = snapshot_block_id if snapshot_block_id is not None else block_id - 1
+        committed = {t.tid for t in txns if t.committed}
+        for txn in txns:
+            if txn.tid not in committed:
+                continue
+            self._tids.append(txn.tid)
+            self._read_facts[txn.tid] = dict(txn.read_set)
+            self._range_facts[txn.tid] = list(txn.read_ranges)
+            self._snapshot_block[txn.tid] = snap
+        for item in key_applies:
+            chain = self._chains.setdefault(item.key, [])
+            ordered = [tid for tid in item.updater_tids if tid in committed]
+            for pos, tid in enumerate(ordered):
+                chain.append(_WritePosition(block_id, pos, tid))
+
+    def _add_read_edges(
+        self,
+        adjacency: dict[int, set[int]],
+        tid: int,
+        key: object,
+        read_block: int,
+    ) -> None:
+        chain = self._chains.get(key)
+        if not chain:
+            return
+        for write in chain:
+            if write.tid == tid:
+                continue
+            if write.block_id > read_block:
+                adjacency[tid].add(write.tid)  # rw: read the before-image
+            else:
+                adjacency[write.tid].add(tid)  # wr: observed the write
+
+    def build_graph(self) -> dict[int, set[int]]:
+        adjacency: dict[int, set[int]] = {tid: set() for tid in self._tids}
+
+        # ww/wr chains per key, across blocks (apply order is global).
+        for chain in self._chains.values():
+            for earlier, later in zip(chain, chain[1:]):
+                if earlier.tid != later.tid:
+                    adjacency[earlier.tid].add(later.tid)
+
+        # read edges: version/snapshot comparison decides before vs after.
+        for tid in self._tids:
+            snap = self._snapshot_block.get(tid, -1)
+            reads = self._read_facts.get(tid, {})
+            for key, version in reads.items():
+                read_block = version[0] if version is not None else snap
+                self._add_read_edges(adjacency, tid, key, read_block)
+            for start, end in self._range_facts.get(tid, []):
+                for key in self._chains:
+                    try:
+                        covered = start <= key < end
+                    except TypeError:
+                        covered = False
+                    if covered and key not in reads:
+                        self._add_read_edges(adjacency, tid, key, snap)
+        return adjacency
+
+    def is_serializable(self) -> bool:
+        return not has_cycle(self.build_graph())

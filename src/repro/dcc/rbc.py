@@ -1,0 +1,84 @@
+"""RBC: the blockchain relational database (Nathan et al., VLDB 2019).
+
+An Order-Execute blockchain whose replicas execute a block concurrently
+against the block snapshot and then validate **serially** in TID order
+(Section 2.2.2: "it still needs to validate transactions serially to uphold
+determinism"). Validation is based on serializable snapshot isolation's
+dangerous structure, evaluated transaction-locally:
+
+- first-committer-wins on ww conflicts (snapshot isolation's base rule —
+  "AriaBC and RBC abort a transaction on seeing a ww-dependency"); and
+- an SSI pivot check: abort ``T`` when it has both an inbound and an
+  outbound rw-antidependency among the block's transactions.
+
+Fewer false aborts than Fabric's stale-read rule, but the serial validation
+caps commit-step parallelism — RBC's optimal block size is small
+(Figure 9/10).
+"""
+
+from __future__ import annotations
+
+from repro.core.dependencies import BlockDependencyIndex
+from repro.execution import BlockExecution, DCCExecutor, OverlayView, simulate_transactions
+from repro.txn.commands import apply_safely
+from repro.txn.transaction import AbortReason, Txn
+
+
+class RBCExecutor(DCCExecutor):
+    """RBC DCC bound to a storage engine."""
+
+    name = "rbc"
+    parallel_commit = False
+
+    def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
+        snapshot = self.engine.snapshot(block_id - 1)
+        sim_durations = simulate_transactions(txns, snapshot, self.registry, self.engine)
+
+        index = BlockDependencyIndex(txns)
+        has_in_rw: set[int] = set()
+        has_out_rw: set[int] = set()
+        for edge in index.rw_edges():
+            has_out_rw.add(edge.reader_tid)  # reader rw-points at writer
+            has_in_rw.add(edge.writer_tid)
+
+        overlay = OverlayView(snapshot, block_id)
+        committed_writes: dict[object, int] = {}
+        commit_durations: list[float] = []
+        for txn in sorted(txns, key=lambda t: t.tid):
+            validation_cost = self.engine.costs.op_cpu_us * (
+                1 + len(txn.read_set) + len(txn.write_set)
+            )
+            if txn.aborted:
+                commit_durations.append(validation_cost)
+                continue
+            ww = any(key in committed_writes for key in txn.write_set)
+            if ww:
+                txn.mark_aborted(AbortReason.WAW)
+                commit_durations.append(validation_cost)
+                continue
+            if txn.tid in has_in_rw and txn.tid in has_out_rw:
+                txn.mark_aborted(AbortReason.SSI_DANGEROUS_STRUCTURE)
+                commit_durations.append(validation_cost)
+                continue
+            txn.mark_committed()
+            cost = validation_cost
+            for key in txn.updated_keys:
+                base, _version = snapshot.get(key)
+                overlay.put(key, apply_safely(txn.write_set[key], base))
+                committed_writes[key] = txn.tid
+                cost += self.engine.write_cost(key)
+            txn.commit_cost_us = cost
+            commit_durations.append(cost)
+
+        tail = self.engine.apply_block(block_id, overlay.ordered_writes())
+        tail += self.engine.checkpoint_if_due(block_id)
+
+        return BlockExecution(
+            block_id=block_id,
+            txns=txns,
+            sim_durations_us=sim_durations,
+            commit_durations_us=commit_durations,
+            serial_commit=True,
+            post_commit_serial_us=tail,
+            stats=self.make_stats(block_id, txns),
+        )

@@ -1,0 +1,162 @@
+"""Shared block-executor machinery for all DCC protocols.
+
+Every protocol consumes a block of :class:`~repro.txn.transaction.Txn` and
+produces a :class:`BlockExecution`: commit/abort decisions applied to the
+transactions, the new state installed in the storage engine, and the task
+durations the pipeline scheduler turns into throughput.
+
+The *decision* layer is strictly deterministic — it sees TIDs and
+read/write sets only. The *timing* layer (durations) never feeds back into
+decisions.
+
+This module is deliberately dependency-light so both :mod:`repro.core`
+(Harmony) and :mod:`repro.dcc` (the baselines) can build on it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.metrics import BlockStats
+from repro.storage.engine import StorageEngine
+from repro.storage.mvstore import TOMBSTONE, SnapshotView
+from repro.txn.context import SimulationContext
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import AbortReason, Txn
+
+
+@dataclass
+class BlockExecution:
+    """Everything a system layer needs to know about one executed block."""
+
+    block_id: int
+    txns: list[Txn]
+    #: per-transaction simulation-step durations (us), in block order
+    sim_durations_us: list[float] = field(default_factory=list)
+    #: commit-step task durations (us); parallel tasks unless serial_commit
+    commit_durations_us: list[float] = field(default_factory=list)
+    #: whether the commit/validation step is inherently serial
+    serial_commit: bool = False
+    #: serial critical-path work before simulation (e.g. graph traversal)
+    pre_exec_serial_us: float = 0.0
+    #: serial tail (group commit fsync, hash chaining, checkpoint flush)
+    post_commit_serial_us: float = 0.0
+    stats: BlockStats = None  # type: ignore[assignment]
+    #: per-key apply chains (Harmony) — consumed by the history oracle
+    key_applies: list = field(default_factory=list)
+    #: snapshot the block simulated against (block id)
+    snapshot_block_id: int | None = None
+
+    @property
+    def committed_txns(self) -> list[Txn]:
+        return [t for t in self.txns if t.committed]
+
+    @property
+    def aborted_txns(self) -> list[Txn]:
+        return [t for t in self.txns if t.aborted]
+
+
+def simulate_transactions(
+    txns: list[Txn],
+    snapshot: SnapshotView,
+    registry: ProcedureRegistry,
+    engine: StorageEngine | None = None,
+) -> list[float]:
+    """Run every transaction's simulation step against ``snapshot``.
+
+    Returns the per-transaction simulated durations. A procedure raising an
+    error aborts only that transaction (EXECUTION_ERROR) — deterministically,
+    since the snapshot it ran against is deterministic.
+    """
+    durations: list[float] = []
+    for txn in txns:
+        ctx = SimulationContext(txn, snapshot, engine)
+        try:
+            txn.output = registry.execute(ctx)
+        except (KeyError, TypeError, ValueError):
+            txn.mark_aborted(AbortReason.EXECUTION_ERROR)
+        txn.sim_cost_us = ctx.cost_us
+        durations.append(ctx.cost_us)
+    return durations
+
+
+class OverlayView:
+    """A snapshot plus an in-progress block's writes (serial execution).
+
+    Serial-commit protocols (serial OE, RBC, Fabric validation) process a
+    block transaction-by-transaction; each transaction must observe the
+    writes of the ones validated before it. The overlay carries those
+    uncommitted-within-the-block values over the base snapshot, with
+    version tags ``(block_id, seq)`` so version checks see sub-block
+    granularity.
+    """
+
+    def __init__(self, base: SnapshotView, block_id: int) -> None:
+        self._base = base
+        self._block_id = block_id
+        self._writes: dict[object, tuple[object, tuple[int, int]]] = {}
+        self._seq = 0
+
+    def get(self, key: object):
+        if key in self._writes:
+            value, version = self._writes[key]
+            if value is TOMBSTONE:
+                return None, version
+            return value, version
+        return self._base.get(key)
+
+    def put(self, key: object, value: object) -> None:
+        self._writes[key] = (value, (self._block_id, self._seq))
+        self._seq += 1
+
+    def scan(self, start: object, end: object):
+        merged = {key: value for key, value in self._base.scan(start, end)}
+        for key, (value, _version) in self._writes.items():
+            try:
+                covered = start <= key < end
+            except TypeError:
+                covered = False
+            if covered:
+                merged[key] = value
+        for key in sorted(merged):
+            if merged[key] is not TOMBSTONE and merged[key] is not None:
+                yield key, merged[key]
+
+    def ordered_writes(self) -> list[tuple[object, object]]:
+        """Writes in apply (seq) order, for MVStore installation."""
+        items = sorted(self._writes.items(), key=lambda kv: kv[1][1])
+        return [(key, value) for key, (value, _version) in items]
+
+
+class DCCExecutor:
+    """Base class: a deterministic block executor bound to one engine."""
+
+    name = "abstract"
+    parallel_commit = True
+
+    def __init__(self, engine: StorageEngine, registry: ProcedureRegistry) -> None:
+        self.engine = engine
+        self.registry = registry
+
+    # -- subclasses implement ------------------------------------------------
+    def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+    def snapshot_for(self, block_id: int, lag: int = 1) -> SnapshotView:
+        return self.engine.snapshot(block_id - lag)
+
+    def read_base(self, key: object):
+        """Latest committed value (tombstones surface as ``None``)."""
+        value, _version = self.engine.store.get_latest(key)
+        return value
+
+    def make_stats(self, block_id: int, txns: list[Txn]) -> BlockStats:
+        stats = BlockStats(block_id=block_id)
+        for txn in txns:
+            if txn.committed:
+                stats.committed += 1
+            elif txn.aborted:
+                stats.aborted += 1
+        return stats

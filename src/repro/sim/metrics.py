@@ -1,0 +1,100 @@
+"""Result containers shared by the systems and the bench harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Nearest-rank percentile; 0 <= q <= 100."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    if q <= 0:
+        return ordered[0]
+    if q >= 100:
+        return ordered[-1]
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+@dataclass
+class BlockStats:
+    """Per-block protocol outcome (decision layer, not timing)."""
+
+    block_id: int
+    committed: int = 0
+    aborted: int = 0
+    false_aborts: int = 0
+    dangerous_structure_hits: int = 0
+    io_reads: int = 0
+    io_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.committed + self.aborted
+
+
+@dataclass
+class RunMetrics:
+    """End-to-end outcome of a system run over many blocks."""
+
+    system: str
+    workload: str
+    committed: int = 0
+    aborted: int = 0
+    false_aborts: int = 0
+    sim_time_us: float = 0.0
+    latencies_us: list[float] = field(default_factory=list)
+    cpu_utilization: float = 0.0
+    io_reads: int = 0
+    io_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    dangerous_structure_hits: int = 0
+    blocks: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput_tps(self) -> float:
+        if self.sim_time_us <= 0:
+            return 0.0
+        return self.committed / (self.sim_time_us / 1e6)
+
+    @property
+    def abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.aborted / total if total else 0.0
+
+    @property
+    def false_abort_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.false_aborts / total if total else 0.0
+
+    @property
+    def mean_latency_ms(self) -> float:
+        if not self.latencies_us:
+            return 0.0
+        return sum(self.latencies_us) / len(self.latencies_us) / 1000.0
+
+    @property
+    def p95_latency_ms(self) -> float:
+        return percentile(self.latencies_us, 95) / 1000.0
+
+    @property
+    def dangerous_structure_rate(self) -> float:
+        total = self.committed + self.aborted
+        return self.dangerous_structure_hits / total if total else 0.0
+
+    def merge_block(self, stats: BlockStats) -> None:
+        self.committed += stats.committed
+        self.aborted += stats.aborted
+        self.false_aborts += stats.false_aborts
+        self.dangerous_structure_hits += stats.dangerous_structure_hits
+        self.io_reads += stats.io_reads
+        self.io_writes += stats.io_writes
+        self.buffer_hits += stats.buffer_hits
+        self.buffer_misses += stats.buffer_misses
+        self.blocks += 1

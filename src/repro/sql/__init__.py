@@ -1,0 +1,37 @@
+"""A small SQL subset compiled onto the transaction API.
+
+HarmonyBC "chainifies" a relational database, so smart contracts are SQL
+plus stored procedures (Section 4). This package implements the part of
+SQL the paper's evaluation leans on:
+
+- ``SELECT`` (point and range via ``BETWEEN``), ``INSERT``, ``DELETE``;
+- ``UPDATE t SET c = c + ? WHERE pk = ?`` — the planner recognises
+  arithmetic self-updates and emits **update commands** (``AddFields``)
+  without evaluating them, which is precisely what enables Harmony's
+  update reordering and coalescence (Section 3.3.1);
+- non-self-referential or cross-column ``SET`` expressions fall back to a
+  read-then-write plan — the "opportunity lost" case the paper warns smart
+  contract developers about (Section 3.3.2).
+
+Pipeline: :mod:`~repro.sql.lexer` -> :mod:`~repro.sql.parser` (AST in
+:mod:`~repro.sql.ast_nodes`) -> :mod:`~repro.sql.planner` against a
+:mod:`~repro.sql.catalog` -> executable plans run by
+:class:`~repro.sql.executor.SQLExecutor` inside any stored procedure.
+"""
+
+from repro.sql.catalog import Catalog, TableSchema
+from repro.sql.executor import SQLExecutor
+from repro.sql.lexer import SQLSyntaxError, tokenize
+from repro.sql.parser import parse
+from repro.sql.planner import Planner, PlanningError
+
+__all__ = [
+    "Catalog",
+    "Planner",
+    "PlanningError",
+    "SQLExecutor",
+    "SQLSyntaxError",
+    "TableSchema",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,77 @@
+"""SQL abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Expr:
+    """Base expression node."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: object
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """A ``?`` placeholder, numbered left to right."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # + - * /
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Condition:
+    """column = expr, or column BETWEEN lo AND hi."""
+
+    column: str
+    kind: str  # "eq" | "between"
+    value: Expr | None = None
+    low: Expr | None = None
+    high: Expr | None = None
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    table: str
+    columns: tuple  # ("*",) or column names
+    conditions: tuple  # of Condition
+
+
+@dataclass(frozen=True)
+class Assignment:
+    column: str
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class UpdateStmt:
+    table: str
+    assignments: tuple
+    conditions: tuple
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    table: str
+    columns: tuple
+    values: tuple  # of Expr
+
+
+@dataclass(frozen=True)
+class DeleteStmt:
+    table: str
+    conditions: tuple

@@ -1,0 +1,65 @@
+"""Table schemas: how relational rows map onto the key-value substrate.
+
+A row of table ``t`` with primary key columns ``(a, b)`` lives at the key
+``(t, row[a], row[b])`` with the remaining columns as a record dict — the
+same encoding the built-in workloads use directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    name: str
+    key_columns: tuple
+    value_columns: tuple
+
+    def key_for(self, key_values: dict) -> tuple:
+        try:
+            return (self.name,) + tuple(key_values[c] for c in self.key_columns)
+        except KeyError as exc:
+            raise KeyError(f"missing key column {exc} for table {self.name}") from exc
+
+    def has_column(self, column: str) -> bool:
+        return column in self.key_columns or column in self.value_columns
+
+
+class Catalog:
+    """Name -> schema registry shared by planner and executor."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableSchema] = {}
+
+    def create_table(self, name: str, key_columns, value_columns) -> TableSchema:
+        if name in self._tables:
+            raise ValueError(f"table {name!r} already exists")
+        schema = TableSchema(
+            name=name,
+            key_columns=tuple(key_columns),
+            value_columns=tuple(value_columns),
+        )
+        self._tables[name] = schema
+        return schema
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"unknown table {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def initial_rows(self, name: str, rows: list[dict]) -> dict:
+        """Encode bootstrap rows for ``StorageEngine.preload``."""
+        schema = self.table(name)
+        state = {}
+        for row in rows:
+            key = schema.key_for(row)
+            state[key] = {c: row[c] for c in schema.value_columns}
+        return state

@@ -1,0 +1,32 @@
+"""SQL entry point for stored procedures, with a plan cache."""
+
+from __future__ import annotations
+
+from repro.sql.catalog import Catalog
+from repro.sql.parser import parse
+from repro.sql.planner import PlannedStatement, Planner
+from repro.txn.context import SimulationContext
+
+
+class SQLExecutor:
+    """Executes SQL text inside a transaction's simulation context.
+
+    Plans are cached per SQL string, so stored procedures pay parsing and
+    planning once per replica process — like prepared statements.
+    """
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self._planner = Planner(catalog)
+        self._plan_cache: dict[str, PlannedStatement] = {}
+
+    def prepare(self, sql: str) -> PlannedStatement:
+        plan = self._plan_cache.get(sql)
+        if plan is None:
+            plan = self._planner.plan(parse(sql))
+            self._plan_cache[sql] = plan
+        return plan
+
+    def execute(self, ctx: SimulationContext, sql: str, params: tuple = ()):
+        """Run one statement; returns rows (SELECT) or an affected count."""
+        return self.prepare(sql).run(ctx, tuple(params))

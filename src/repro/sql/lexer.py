@@ -1,0 +1,79 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "BETWEEN",
+    "UPDATE",
+    "SET",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "DELETE",
+}
+
+PUNCTUATION = {"(", ")", ",", "=", "+", "-", "*", "/", "?", "."}
+
+
+class SQLSyntaxError(Exception):
+    """Raised on malformed SQL text."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | PUNCT | EOF
+    value: object
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        if ch == "'":
+            j = text.find("'", i + 1)
+            if j < 0:
+                raise SQLSyntaxError(f"unterminated string at {i}")
+            tokens.append(Token("STRING", text[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or text[j] == "."
+                j += 1
+            raw = text[i:j]
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(Token("NUMBER", value, i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r} at {i}")
+    tokens.append(Token("EOF", None, n))
+    return tokens

@@ -1,0 +1,193 @@
+"""Recursive-descent parser for the SQL subset."""
+
+from __future__ import annotations
+
+from repro.sql.ast_nodes import (
+    Assignment,
+    BinOp,
+    ColumnRef,
+    Condition,
+    DeleteStmt,
+    Expr,
+    InsertStmt,
+    Literal,
+    Param,
+    SelectStmt,
+    UpdateStmt,
+)
+from repro.sql.lexer import SQLSyntaxError, Token, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._param_counter = 0
+
+    # ------------------------------------------------------------- plumbing
+    def _peek(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, value=None) -> Token:
+        token = self._advance()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise SQLSyntaxError(
+                f"expected {value or kind} at position {token.pos}, got {token.value!r}"
+            )
+        return token
+
+    def _match(self, kind: str, value=None) -> bool:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            self._advance()
+            return True
+        return False
+
+    # ----------------------------------------------------------- statements
+    def parse_statement(self):
+        token = self._peek()
+        if token.kind != "KEYWORD":
+            raise SQLSyntaxError(f"expected a statement, got {token.value!r}")
+        if token.value == "SELECT":
+            return self._select()
+        if token.value == "UPDATE":
+            return self._update()
+        if token.value == "INSERT":
+            return self._insert()
+        if token.value == "DELETE":
+            return self._delete()
+        raise SQLSyntaxError(f"unsupported statement {token.value}")
+
+    def _select(self) -> SelectStmt:
+        self._expect("KEYWORD", "SELECT")
+        columns = []
+        if self._match("PUNCT", "*"):
+            columns.append("*")
+        else:
+            columns.append(self._expect("IDENT").value)
+            while self._match("PUNCT", ","):
+                columns.append(self._expect("IDENT").value)
+        self._expect("KEYWORD", "FROM")
+        table = self._expect("IDENT").value
+        conditions = self._where()
+        self._expect("EOF")
+        return SelectStmt(table=table, columns=tuple(columns), conditions=conditions)
+
+    def _update(self) -> UpdateStmt:
+        self._expect("KEYWORD", "UPDATE")
+        table = self._expect("IDENT").value
+        self._expect("KEYWORD", "SET")
+        assignments = [self._assignment()]
+        while self._match("PUNCT", ","):
+            assignments.append(self._assignment())
+        conditions = self._where()
+        self._expect("EOF")
+        return UpdateStmt(
+            table=table, assignments=tuple(assignments), conditions=conditions
+        )
+
+    def _insert(self) -> InsertStmt:
+        self._expect("KEYWORD", "INSERT")
+        self._expect("KEYWORD", "INTO")
+        table = self._expect("IDENT").value
+        self._expect("PUNCT", "(")
+        columns = [self._expect("IDENT").value]
+        while self._match("PUNCT", ","):
+            columns.append(self._expect("IDENT").value)
+        self._expect("PUNCT", ")")
+        self._expect("KEYWORD", "VALUES")
+        self._expect("PUNCT", "(")
+        values = [self._expr()]
+        while self._match("PUNCT", ","):
+            values.append(self._expr())
+        self._expect("PUNCT", ")")
+        self._expect("EOF")
+        if len(columns) != len(values):
+            raise SQLSyntaxError("INSERT column/value count mismatch")
+        return InsertStmt(table=table, columns=tuple(columns), values=tuple(values))
+
+    def _delete(self) -> DeleteStmt:
+        self._expect("KEYWORD", "DELETE")
+        self._expect("KEYWORD", "FROM")
+        table = self._expect("IDENT").value
+        conditions = self._where()
+        self._expect("EOF")
+        return DeleteStmt(table=table, conditions=conditions)
+
+    def _assignment(self) -> Assignment:
+        column = self._expect("IDENT").value
+        self._expect("PUNCT", "=")
+        return Assignment(column=column, expr=self._expr())
+
+    # ---------------------------------------------------------------- where
+    def _where(self) -> tuple:
+        if not self._match("KEYWORD", "WHERE"):
+            return ()
+        conditions = [self._condition()]
+        while self._match("KEYWORD", "AND"):
+            conditions.append(self._condition())
+        return tuple(conditions)
+
+    def _condition(self) -> Condition:
+        column = self._expect("IDENT").value
+        if self._match("KEYWORD", "BETWEEN"):
+            low = self._expr()
+            self._expect("KEYWORD", "AND")
+            high = self._expr()
+            return Condition(column=column, kind="between", low=low, high=high)
+        self._expect("PUNCT", "=")
+        return Condition(column=column, kind="eq", value=self._expr())
+
+    # ----------------------------------------------------------- expression
+    def _expr(self) -> Expr:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token.kind == "PUNCT" and token.value in ("+", "-"):
+                self._advance()
+                left = BinOp(op=token.value, left=left, right=self._term())
+            else:
+                return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while True:
+            token = self._peek()
+            if token.kind == "PUNCT" and token.value in ("*", "/"):
+                self._advance()
+                left = BinOp(op=token.value, left=left, right=self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expr:
+        token = self._peek()
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self._advance()
+            return Literal(token.value)
+        if token.kind == "PUNCT" and token.value == "?":
+            self._advance()
+            param = Param(self._param_counter)
+            self._param_counter += 1
+            return param
+        if token.kind == "PUNCT" and token.value == "(":
+            self._advance()
+            inner = self._expr()
+            self._expect("PUNCT", ")")
+            return inner
+        if token.kind == "PUNCT" and token.value == "-":
+            self._advance()
+            return BinOp(op="-", left=Literal(0), right=self._factor())
+        if token.kind == "IDENT":
+            self._advance()
+            return ColumnRef(token.value)
+        raise SQLSyntaxError(f"unexpected token {token.value!r} at {token.pos}")
+
+
+def parse(sql: str):
+    """Parse one SQL statement into its AST."""
+    return _Parser(tokenize(sql)).parse_statement()

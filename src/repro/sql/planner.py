@@ -1,0 +1,284 @@
+"""Query planner: ASTs become executable plans over the transaction API.
+
+The load-bearing analysis is in :meth:`Planner.plan_update`: an assignment
+``c = c + <expr>`` (or ``c - / c *``) whose right-hand side does not read
+other columns compiles to an **update command** extracted from the physical
+plan without evaluation — "Harmony extracts the update command of
+add(Alice.balance, 10) from the physical plan and stores it in T's
+write-set without evaluating its value" (Section 3.3.1). Anything else
+degrades to read-modify-write: the row is read (creating the rw edge that
+can abort under contention) and a computed ``SetFields`` is emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.ast_nodes import (
+    Assignment,
+    BinOp,
+    ColumnRef,
+    Condition,
+    DeleteStmt,
+    Expr,
+    InsertStmt,
+    Literal,
+    Param,
+    SelectStmt,
+    UpdateStmt,
+)
+from repro.sql.catalog import Catalog, TableSchema
+from repro.txn.commands import AddFields, SetFields
+from repro.txn.context import SimulationContext
+
+
+class PlanningError(Exception):
+    """The statement is valid SQL but outside the supported plan space."""
+
+
+def evaluate(expr: Expr, params: tuple, row: dict | None = None):
+    """Evaluate an expression; column refs resolve against ``row``."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Param):
+        try:
+            return params[expr.index]
+        except IndexError:
+            raise PlanningError(f"missing parameter ${expr.index}") from None
+    if isinstance(expr, ColumnRef):
+        if row is None or expr.name not in row:
+            raise PlanningError(f"column {expr.name!r} not available here")
+        return row[expr.name]
+    if isinstance(expr, BinOp):
+        left = evaluate(expr.left, params, row)
+        right = evaluate(expr.right, params, row)
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        return left / right
+    raise PlanningError(f"unsupported expression {expr!r}")
+
+
+def columns_in(expr: Expr) -> set:
+    if isinstance(expr, ColumnRef):
+        return {expr.name}
+    if isinstance(expr, BinOp):
+        return columns_in(expr.left) | columns_in(expr.right)
+    return set()
+
+
+@dataclass
+class PlannedStatement:
+    """A closed plan: call ``run(ctx, params)``."""
+
+    kind: str  # select | update-command | update-rmw | insert | delete
+    runner: object
+
+    def run(self, ctx: SimulationContext, params: tuple = ()):
+        return self.runner(ctx, params)
+
+
+class Planner:
+    """Compiles parsed statements against a catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------- dispatch
+    def plan(self, statement) -> PlannedStatement:
+        if isinstance(statement, SelectStmt):
+            return self.plan_select(statement)
+        if isinstance(statement, UpdateStmt):
+            return self.plan_update(statement)
+        if isinstance(statement, InsertStmt):
+            return self.plan_insert(statement)
+        if isinstance(statement, DeleteStmt):
+            return self.plan_delete(statement)
+        raise PlanningError(f"unsupported statement {statement!r}")
+
+    # ----------------------------------------------------------------- keys
+    def _key_plan(self, schema: TableSchema, conditions: tuple):
+        """Classify the WHERE clause: point key or trailing-column range."""
+        eq: dict[str, Expr] = {}
+        between: Condition | None = None
+        for condition in conditions:
+            if not schema.has_column(condition.column):
+                raise PlanningError(
+                    f"unknown column {condition.column!r} in WHERE for {schema.name}"
+                )
+            if condition.kind == "eq":
+                eq[condition.column] = condition.value
+            else:
+                if between is not None:
+                    raise PlanningError("at most one BETWEEN is supported")
+                between = condition
+        key_cols = schema.key_columns
+        if between is None:
+            if set(eq) < set(key_cols):
+                raise PlanningError(
+                    f"WHERE must bind all key columns of {schema.name}: {key_cols}"
+                )
+            return "point", eq, None
+        if between.column != key_cols[-1] or set(eq) != set(key_cols[:-1]):
+            raise PlanningError(
+                "BETWEEN is supported on the trailing key column only"
+            )
+        return "range", eq, between
+
+    def _point_key(self, schema, eq, params):
+        values = {col: evaluate(expr, params) for col, expr in eq.items()}
+        return schema.key_for(values)
+
+    # --------------------------------------------------------------- SELECT
+    def plan_select(self, stmt: SelectStmt) -> PlannedStatement:
+        schema = self.catalog.table(stmt.table)
+        mode, eq, between = self._key_plan(schema, stmt.conditions)
+        non_key_filters = {c: e for c, e in eq.items() if c not in schema.key_columns}
+
+        def project(key, row: dict) -> dict:
+            full = dict(row)
+            for col, value in zip(schema.key_columns, key[1:]):
+                full[col] = value
+            if stmt.columns == ("*",):
+                return full
+            return {c: full.get(c) for c in stmt.columns}
+
+        def run(ctx: SimulationContext, params: tuple):
+            if mode == "point":
+                key = self._point_key(
+                    schema, {c: e for c, e in eq.items() if c in schema.key_columns}, params
+                )
+                row = ctx.read(key)
+                if row is None:
+                    return []
+                for col, expr in non_key_filters.items():
+                    if row.get(col) != evaluate(expr, params):
+                        return []
+                return [project(key, row)]
+            prefix = {c: evaluate(e, params) for c, e in eq.items()}
+            low = evaluate(between.low, params)
+            high = evaluate(between.high, params)
+            start = (schema.name,) + tuple(
+                prefix[c] for c in schema.key_columns[:-1]
+            ) + (low,)
+            end = (schema.name,) + tuple(
+                prefix[c] for c in schema.key_columns[:-1]
+            ) + (high,)
+            rows = []
+            for key, row in ctx.scan(start, end):
+                rows.append(project(key, row))
+            return rows
+
+        return PlannedStatement(kind="select", runner=run)
+
+    # --------------------------------------------------------------- UPDATE
+    def plan_update(self, stmt: UpdateStmt) -> PlannedStatement:
+        schema = self.catalog.table(stmt.table)
+        mode, eq, _between = self._key_plan(schema, stmt.conditions)
+        if mode != "point":
+            raise PlanningError("UPDATE requires a point WHERE on the key")
+        non_key_filters = {
+            c: e for c, e in eq.items() if c not in schema.key_columns
+        }
+        key_eq = {c: e for c, e in eq.items() if c in schema.key_columns}
+
+        # Non-key predicates force a read (the row must be inspected), so
+        # only a pure key-addressed arithmetic update stays command-only.
+        commandable = not non_key_filters and all(
+            self._commandable_delta(a) is not None for a in stmt.assignments
+        )
+
+        if commandable:
+            deltas = {a.column: self._commandable_delta(a) for a in stmt.assignments}
+
+            def run(ctx: SimulationContext, params: tuple):
+                key = self._point_key(schema, key_eq, params)
+                evaluated = {
+                    col: evaluate(delta, params) for col, delta in deltas.items()
+                }
+                sets = {
+                    a.column: evaluate(a.expr, params)
+                    for a in stmt.assignments
+                    if not columns_in(a.expr)
+                }
+                adds = {c: d for c, d in evaluated.items() if c not in sets}
+                if adds:
+                    ctx.update(key, AddFields.of(**adds))
+                if sets:
+                    ctx.update(key, SetFields.of(**sets))
+                return 1
+
+            return PlannedStatement(kind="update-command", runner=run)
+
+        def run_rmw(ctx: SimulationContext, params: tuple):
+            key = self._point_key(schema, key_eq, params)
+            row = ctx.read(key)  # the rw edge the fused form avoids
+            if row is None:
+                return 0
+            for col, expr in non_key_filters.items():
+                if row.get(col) != evaluate(expr, params):
+                    return 0
+            updates = {
+                a.column: evaluate(a.expr, params, row) for a in stmt.assignments
+            }
+            ctx.update(key, SetFields.of(**updates))
+            return 1
+
+        return PlannedStatement(kind="update-rmw", runner=run_rmw)
+
+    @staticmethod
+    def _commandable_delta(assignment: Assignment):
+        """Return the delta expression when ``c = c +/- <col-free expr>``;
+        column-free ``c = <expr>`` is a blind field set (also commandable);
+        otherwise ``None`` (needs a read)."""
+        expr = assignment.expr
+        refs = columns_in(expr)
+        if not refs:
+            return Literal(0)  # blind set: handled separately, delta unused
+        if (
+            isinstance(expr, BinOp)
+            and expr.op in ("+", "-")
+            and isinstance(expr.left, ColumnRef)
+            and expr.left.name == assignment.column
+            and not columns_in(expr.right)
+        ):
+            if expr.op == "+":
+                return expr.right
+            return BinOp(op="-", left=Literal(0), right=expr.right)
+        return None
+
+    # --------------------------------------------------------------- INSERT
+    def plan_insert(self, stmt: InsertStmt) -> PlannedStatement:
+        schema = self.catalog.table(stmt.table)
+        missing = set(schema.key_columns) - set(stmt.columns)
+        if missing:
+            raise PlanningError(f"INSERT must provide key columns {missing}")
+
+        def run(ctx: SimulationContext, params: tuple):
+            values = {
+                col: evaluate(expr, params)
+                for col, expr in zip(stmt.columns, stmt.values)
+            }
+            key = schema.key_for(values)
+            row = {c: values.get(c) for c in schema.value_columns}
+            ctx.insert(key, row)
+            return 1
+
+        return PlannedStatement(kind="insert", runner=run)
+
+    # --------------------------------------------------------------- DELETE
+    def plan_delete(self, stmt: DeleteStmt) -> PlannedStatement:
+        schema = self.catalog.table(stmt.table)
+        mode, eq, _between = self._key_plan(schema, stmt.conditions)
+        if mode != "point":
+            raise PlanningError("DELETE requires a point WHERE on the key")
+
+        def run(ctx: SimulationContext, params: tuple):
+            key = self._point_key(schema, eq, params)
+            ctx.delete(key)
+            return 1
+
+        return PlannedStatement(kind="delete", runner=run)

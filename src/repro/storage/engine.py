@@ -1,0 +1,158 @@
+"""The disk-oriented database layer: everything behind one facade.
+
+``StorageEngine`` wires the simulated disk, buffer pool, heap file, the
+multi-versioned store, the WAL and the checkpoint manager together, and
+exposes cost-metered operations to the execution layer:
+
+- ``read_cost(key)`` / ``write_cost(key)`` — charge an index probe and a
+  buffer-pool access (possible page miss + eviction write-back);
+- ``apply_block(...)`` — install a block's ordered writes and charge the
+  group commit;
+- ``checkpoint_if_due(...)`` — flush dirty pages every *p* blocks.
+
+Protocol code never touches the disk or pool directly, so swapping the
+storage profile (SSD / RAMDisk / memory — Figure 21) is a constructor
+argument, not a code path.
+"""
+
+from __future__ import annotations
+
+from repro.sim.costs import CostModel, StorageProfile
+from repro.storage.bufferpool import BufferPool
+from repro.storage.checkpoint import BlockLog, CheckpointManager
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heap import HeapFile
+from repro.storage.mvstore import MVStore, SnapshotView
+from repro.storage.wal import LogMode, WriteAheadLog
+
+#: Default pool size: holds ~25% of a 10K-record table's pages, so buffer
+#: behaviour matters but the working set of a skewed workload stays hot.
+DEFAULT_POOL_PAGES = 48
+
+
+class StorageEngine:
+    """A cost-metered, multi-versioned, disk-oriented storage engine."""
+
+    def __init__(
+        self,
+        costs: CostModel | None = None,
+        profile: StorageProfile = StorageProfile.SSD,
+        pool_pages: int = DEFAULT_POOL_PAGES,
+        log_mode: LogMode = LogMode.LOGICAL,
+        checkpoint_interval: int = 10,
+    ) -> None:
+        base = costs or CostModel()
+        self.profile = profile
+        self.costs = base.with_profile(profile)
+        self.disk = SimulatedDisk(self.costs)
+        self.pool = BufferPool(pool_pages, self.disk, self.costs)
+        self.heap = HeapFile(self.pool, self.costs)
+        self.store = MVStore()
+        self.wal = WriteAheadLog(self.disk, self.costs, log_mode)
+        self.checkpoints = CheckpointManager(checkpoint_interval)
+        self.block_log = BlockLog()
+        #: initial database state, kept for replay-from-genesis recovery
+        self.genesis_state: dict[object, object] = {}
+
+    # ------------------------------------------------------------------ load
+    def preload(self, items: dict[object, object]) -> None:
+        """Bulk-load initial database state without charging runtime stats."""
+        self.genesis_state = dict(items)
+        self.store.load(items)
+        for key in items:
+            self.heap.insert(key)
+        self.reset_stats()
+
+    def reset_stats(self) -> None:
+        self.disk.stats.page_reads = 0
+        self.disk.stats.page_writes = 0
+        self.disk.stats.fsyncs = 0
+        self.pool.stats.hits = 0
+        self.pool.stats.misses = 0
+        self.pool.stats.evictions = 0
+        self.pool.stats.dirty_writebacks = 0
+
+    # ---------------------------------------------------------------- access
+    def read_cost(self, key: object) -> float:
+        """Charge one read access on ``key``'s page; returns us."""
+        return self.heap.access(key, write=False)
+
+    def write_cost(self, key: object, insert_if_absent: bool = True) -> float:
+        """Charge one write access on ``key``'s page; returns us."""
+        if key not in self.heap:
+            if not insert_if_absent:
+                return self.heap.access(key, write=True)
+            return self.heap.insert(key)
+        return self.heap.access(key, write=True)
+
+    def scan_cost(self, num_records: int) -> float:
+        """Approximate cost of a range scan touching ``num_records`` rows."""
+        per_page = max(1, self.heap.num_pages and (len(self.heap) // self.heap.num_pages) or 1)
+        pages = max(1, num_records // max(1, per_page))
+        cost = self.costs.index_lookup_us
+        cost += pages * (self.costs.buffer_admin_us + self.costs.dram_access_us)
+        cost += num_records * self.costs.op_cpu_us * 0.25
+        return cost
+
+    def snapshot(self, block_id: int) -> SnapshotView:
+        return self.store.snapshot(block_id)
+
+    # ---------------------------------------------------------------- commit
+    def apply_block(
+        self,
+        block_id: int,
+        ordered_writes: list[tuple[object, object]],
+    ) -> float:
+        """Install a block's writes (already reordered/coalesced) and charge
+        the log + group commit; returns the serial tail cost in us.
+
+        Per-key page-write costs are charged by the caller per committing
+        transaction (they happen *inside* the parallel commit step); this
+        method charges only the shared serial tail: the WAL group commit.
+        """
+        cost = 0.0
+        for key, value in ordered_writes:
+            if self.wal.mode is LogMode.PHYSICAL:
+                cost += self.wal.append("write", (block_id, key))
+        self.store.apply_block(block_id, ordered_writes)
+        cost += self.wal.group_commit()
+        return cost
+
+    def log_block_input(self, block: object) -> float:
+        """Logical logging: persist the input block before execution."""
+        self.block_log.append(block)
+        cost = self.wal.append("block", getattr(block, "block_id", None))
+        return cost
+
+    def checkpoint_if_due(self, block_id: int, meta: dict | None = None) -> float:
+        """Flush dirty pages every ``p`` blocks; returns flush cost in us."""
+        if (block_id + 1) % self.checkpoints.interval_blocks != 0:
+            return 0.0
+        cost = self.pool.flush_all()
+        self.checkpoints.force_checkpoint(
+            block_id,
+            self.store.materialize(),
+            prev_state=self.store.materialize_at(block_id - 1),
+            meta=meta,
+        )
+        return cost
+
+    # ----------------------------------------------------------------- stats
+    @property
+    def io_reads(self) -> int:
+        return self.disk.stats.page_reads
+
+    @property
+    def io_writes(self) -> int:
+        return self.disk.stats.page_writes
+
+    @property
+    def buffer_hits(self) -> int:
+        return self.pool.stats.hits
+
+    @property
+    def buffer_misses(self) -> int:
+        return self.pool.stats.misses
+
+    def state_hash(self) -> str:
+        return self.store.state_hash()

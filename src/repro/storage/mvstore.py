@@ -1,0 +1,195 @@
+"""Multi-versioned key-value store with block snapshots.
+
+Block snapshots are the deterministic read source of optimistic DCC
+(Table 2c): the state after block *b* is identical on every replica, so a
+transaction in block *b+1* (or *b+2* under inter-block parallelism) that
+reads "the snapshot of block *b*" reads the same values everywhere,
+regardless of message delays.
+
+Versions are tagged ``(block_id, seq)`` where ``seq`` is the apply order
+within the block — the sub-block component is what SOV-style validation
+(Fabric) compares read versions against.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left, insort
+from typing import Iterator
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key inside a version chain."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<TOMBSTONE>"
+
+
+TOMBSTONE = _Tombstone()
+
+Version = tuple[int, int]
+
+
+def canonical(value: object) -> str:
+    """A stable textual form of a stored value, for state hashing."""
+    if isinstance(value, dict):
+        inner = ",".join(f"{k}={canonical(v)}" for k, v in sorted(value.items()))
+        return "{" + inner + "}"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class SnapshotView:
+    """A read-only view of the store as of the end of ``block_id``."""
+
+    def __init__(self, store: "MVStore", block_id: int) -> None:
+        self._store = store
+        self.block_id = block_id
+
+    def get(self, key: object) -> tuple[object | None, Version | None]:
+        """Return ``(value, version)`` as of this snapshot.
+
+        Missing and deleted keys both return ``(None, None)`` /
+        ``(None, version)`` respectively; callers treat ``None`` as absent.
+        """
+        chain = self._store._versions.get(key)
+        if not chain:
+            return None, None
+        # Find the last version whose block_id <= snapshot block.
+        lo, hi = 0, len(chain)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if chain[mid][0][0] <= self.block_id:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return None, None
+        version, value = chain[lo - 1]
+        if value is TOMBSTONE:
+            return None, version
+        return value, version
+
+    def scan(self, start: object, end: object) -> Iterator[tuple[object, object]]:
+        """Yield ``(key, value)`` for live keys with start <= key < end."""
+        keys = self._store._sorted_keys
+        i = bisect_left(keys, start)
+        while i < len(keys) and keys[i] < end:
+            value, _version = self.get(keys[i])
+            if value is not None:
+                yield keys[i], value
+            i += 1
+
+
+class MVStore:
+    """Append-only multi-versioned store; one version batch per block."""
+
+    def __init__(self) -> None:
+        #: key -> list of ((block_id, seq), value), in commit order.
+        self._versions: dict[object, list[tuple[Version, object]]] = {}
+        self._sorted_keys: list[object] = []
+        self.last_committed_block = -1
+
+    def __contains__(self, key: object) -> bool:
+        value, _ = self.get_latest(key)
+        return value is not None
+
+    def __len__(self) -> int:
+        return sum(1 for key in self._sorted_keys if key in self)
+
+    def keys(self) -> list[object]:
+        return [key for key in self._sorted_keys if key in self]
+
+    def load(self, items: dict[object, object], block_id: int = -1) -> None:
+        """Bulk-load initial state as a pseudo-block (no snapshot bump)."""
+        for seq, (key, value) in enumerate(items.items()):
+            self._append(key, (block_id, seq), value)
+
+    def get_latest(self, key: object) -> tuple[object | None, Version | None]:
+        chain = self._versions.get(key)
+        if not chain:
+            return None, None
+        version, value = chain[-1]
+        if value is TOMBSTONE:
+            return None, version
+        return value, version
+
+    def snapshot(self, block_id: int) -> SnapshotView:
+        return SnapshotView(self, block_id)
+
+    def latest_snapshot(self) -> SnapshotView:
+        return SnapshotView(self, self.last_committed_block)
+
+    def apply_block(self, block_id: int, writes: list[tuple[object, object]]) -> None:
+        """Install a block's writes, in apply order, as one version batch.
+
+        ``writes`` is an ordered list so that within-block apply order
+        (which SOV validation observes via ``seq``) is explicit.
+        """
+        if block_id <= self.last_committed_block:
+            raise ValueError(
+                f"block {block_id} is not after last committed {self.last_committed_block}"
+            )
+        for seq, (key, value) in enumerate(writes):
+            self._append(key, (block_id, seq), value)
+        self.last_committed_block = block_id
+
+    def _append(self, key: object, version: Version, value: object) -> None:
+        chain = self._versions.get(key)
+        if chain is None:
+            self._versions[key] = [(version, value)]
+            insort(self._sorted_keys, key)
+        else:
+            chain.append((version, value))
+
+    def gc(self, keep_after_block: int) -> int:
+        """Drop versions strictly older than the latest one at or before
+        ``keep_after_block``. Returns the number of versions dropped."""
+        dropped = 0
+        for chain in self._versions.values():
+            cut = 0
+            for i, (version, _value) in enumerate(chain):
+                if version[0] <= keep_after_block:
+                    cut = i
+                else:
+                    break
+            if cut > 0:
+                del chain[:cut]
+                dropped += cut
+        return dropped
+
+    def state_hash(self) -> str:
+        """Digest of the latest live state — replica-consistency fingerprint."""
+        hasher = hashlib.sha256()
+        for key in self._sorted_keys:
+            value, _version = self.get_latest(key)
+            if value is not None:
+                hasher.update(f"{key!r}->{canonical(value)};".encode())
+        return hasher.hexdigest()
+
+    def materialize(self) -> dict[object, object]:
+        """The latest live state as a plain dict (checkpointing)."""
+        state: dict[object, object] = {}
+        for key in self._sorted_keys:
+            value, _version = self.get_latest(key)
+            if value is not None:
+                state[key] = value
+        return state
+
+    def materialize_at(self, block_id: int) -> dict[object, object]:
+        """The live state as of the end of ``block_id``.
+
+        Checkpoints under inter-block parallelism must capture the previous
+        block's snapshot too, because the first replayed block simulates
+        against it (snapshot lag 2).
+        """
+        view = self.snapshot(block_id)
+        state: dict[object, object] = {}
+        for key in self._sorted_keys:
+            value, _version = view.get(key)
+            if value is not None:
+                state[key] = value
+        return state

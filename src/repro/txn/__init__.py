@@ -1,0 +1,45 @@
+"""Transactions, update commands and stored procedures.
+
+Transactions are Python callables (*stored procedures* — the blockchain's
+smart contracts, Section 4) executed against a block snapshot by a
+:class:`~repro.txn.context.SimulationContext` that records the read set
+(keys + versions), range reads (for phantom handling) and the write set.
+
+Crucially, writes are recorded as **update commands** (``add``, ``mul``,
+``set`` and field-level variants) rather than evaluated values — the
+representation that makes Harmony's update reordering and coalescence
+(Section 3.3) possible.
+"""
+
+from repro.txn.commands import (
+    AddFields,
+    AddValue,
+    Compose,
+    DeleteValue,
+    MulValue,
+    SetFields,
+    SetValue,
+    UpdateCommand,
+    coalesce,
+)
+from repro.txn.context import SimulationContext
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import AbortReason, Txn, TxnSpec, TxnStatus
+
+__all__ = [
+    "AbortReason",
+    "AddFields",
+    "AddValue",
+    "Compose",
+    "DeleteValue",
+    "MulValue",
+    "ProcedureRegistry",
+    "SetFields",
+    "SetValue",
+    "SimulationContext",
+    "Txn",
+    "TxnSpec",
+    "TxnStatus",
+    "UpdateCommand",
+    "coalesce",
+]

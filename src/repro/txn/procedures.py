@@ -1,0 +1,53 @@
+"""Stored-procedure registry.
+
+Procedures are plain Python callables ``fn(ctx, **params)`` — smart
+contracts with arbitrary control flow, including branches that predicate on
+query results. Nothing in the system performs static analysis on them
+(the defining constraint motivating optimistic DCC; Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.txn.context import SimulationContext
+
+Procedure = Callable[..., object]
+
+
+class ProcedureRegistry:
+    """Name -> procedure mapping installed on every replica."""
+
+    def __init__(self) -> None:
+        self._procedures: dict[str, Procedure] = {}
+
+    def register(self, name: str) -> Callable[[Procedure], Procedure]:
+        """Decorator: ``@registry.register("pay")``."""
+
+        def decorator(fn: Procedure) -> Procedure:
+            if name in self._procedures:
+                raise ValueError(f"procedure {name!r} already registered")
+            self._procedures[name] = fn
+            return fn
+
+        return decorator
+
+    def add(self, name: str, fn: Procedure) -> None:
+        self.register(name)(fn)
+
+    def get(self, name: str) -> Procedure:
+        try:
+            return self._procedures[name]
+        except KeyError:
+            raise KeyError(f"unknown procedure {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._procedures
+
+    def names(self) -> list[str]:
+        return sorted(self._procedures)
+
+    def execute(self, ctx: SimulationContext) -> object:
+        """Run the context's transaction procedure to completion."""
+        fn = self.get(ctx.txn.spec.proc)
+        return fn(ctx, **ctx.txn.spec.param_dict)

@@ -1,0 +1,28 @@
+"""Benchmark workloads (Section 5).
+
+- :mod:`repro.workloads.ycsb` — YCSB: 10K keys, 10 operations per
+  transaction, each equally likely a SELECT or an UPDATE, Zipfian skew.
+- :mod:`repro.workloads.smallbank` — Smallbank: 10K accounts, the standard
+  six-procedure mix.
+- :mod:`repro.workloads.tpcc` — TPC-C: the five standard transactions at
+  the standard mix, scaled for simulation (see module docs).
+- :mod:`repro.workloads.hotspot` — the Section 5.3 YCSB variant: 1% of
+  records are hotspots, SELECT+UPDATE pairs fused into single UPDATEs.
+- :mod:`repro.workloads.zipf` — the Zipfian generator all of them share.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+from repro.workloads.tpcc import TPCCWorkload
+from repro.workloads.ycsb import YCSBWorkload
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "HotspotWorkload",
+    "SmallbankWorkload",
+    "TPCCWorkload",
+    "Workload",
+    "YCSBWorkload",
+    "ZipfGenerator",
+]

@@ -1,0 +1,40 @@
+"""Workload interface consumed by the system assemblies and benches."""
+
+from __future__ import annotations
+
+from repro.sim.rng import SeededRng
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import TxnSpec
+
+
+class Workload:
+    """A benchmark: initial state, stored procedures, and a spec stream.
+
+    Subclasses override the three methods below. ``generate_block`` must be
+    a pure function of the RNG stream so that every system under comparison
+    sees the identical transaction sequence.
+    """
+
+    name = "abstract"
+
+    def initial_state(self) -> dict:
+        """Key -> value map the database is preloaded with."""
+        raise NotImplementedError
+
+    def build_registry(self) -> ProcedureRegistry:
+        """The stored procedures (smart contracts) this workload invokes."""
+        raise NotImplementedError
+
+    def generate_block(self, size: int, rng: SeededRng) -> list[TxnSpec]:
+        """The next ``size`` transaction specs."""
+        raise NotImplementedError
+
+    # Convenience used by tests and examples.
+    def generate_blocks(self, num_blocks: int, size: int, rng: SeededRng):
+        for _ in range(num_blocks):
+            yield self.generate_block(size, rng)
+
+
+def params(**kwargs) -> tuple:
+    """Freeze procedure parameters into the hashable TxnSpec form."""
+    return tuple(sorted(kwargs.items()))

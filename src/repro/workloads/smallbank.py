@@ -1,0 +1,152 @@
+"""Smallbank (Alomari et al., ICDE 2008): the paper's banking workload.
+
+10K customers, each with a checking and a savings account, and the standard
+six procedures at the standard mix. Deposit-style procedures express their
+balance changes as ``add`` commands (the natural SQL
+``UPDATE ... SET bal = bal + ?``), while check-and-debit procedures read
+first and branch — exactly the mix of fused and separated read-modify-write
+the paper's protocols disagree on.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import SeededRng
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import TxnSpec
+from repro.workloads.base import Workload, params
+from repro.workloads.zipf import ZipfGenerator
+
+
+def checking(cid: int) -> tuple:
+    return ("checking", cid)
+
+
+def savings(cid: int) -> tuple:
+    return ("savings", cid)
+
+
+#: (procedure, weight) — the standard Smallbank mix
+MIX = (
+    ("sb_balance", 15),
+    ("sb_deposit_checking", 15),
+    ("sb_transact_savings", 15),
+    ("sb_amalgamate", 15),
+    ("sb_write_check", 15),
+    ("sb_send_payment", 25),
+)
+
+
+class SmallbankWorkload(Workload):
+    name = "smallbank"
+
+    def __init__(
+        self,
+        num_accounts: int = 10_000,
+        theta: float = 0.6,
+        initial_balance: float = 10_000.0,
+    ) -> None:
+        self.num_accounts = num_accounts
+        self.theta = theta
+        self.initial_balance = initial_balance
+        self._zipf = ZipfGenerator(num_accounts, theta)
+        total = sum(w for _p, w in MIX)
+        self._mix_cdf = []
+        acc = 0.0
+        for proc, weight in MIX:
+            acc += weight / total
+            self._mix_cdf.append((acc, proc))
+
+    def initial_state(self) -> dict:
+        state = {}
+        for cid in range(self.num_accounts):
+            state[checking(cid)] = self.initial_balance
+            state[savings(cid)] = self.initial_balance
+        return state
+
+    def build_registry(self) -> ProcedureRegistry:
+        registry = ProcedureRegistry()
+
+        @registry.register("sb_balance")
+        def sb_balance(ctx, cid):
+            ck = ctx.read(checking(cid)) or 0.0
+            sv = ctx.read(savings(cid)) or 0.0
+            return ck + sv
+
+        @registry.register("sb_deposit_checking")
+        def sb_deposit_checking(ctx, cid, amount):
+            # fused RMW: UPDATE checking SET bal = bal + ? WHERE cid = ?
+            ctx.add(checking(cid), amount)
+            return "ok"
+
+        @registry.register("sb_transact_savings")
+        def sb_transact_savings(ctx, cid, amount):
+            balance = ctx.read(savings(cid)) or 0.0
+            if balance + amount < 0:
+                return "insufficient"
+            ctx.add(savings(cid), amount)
+            return "ok"
+
+        @registry.register("sb_amalgamate")
+        def sb_amalgamate(ctx, cid_from, cid_to):
+            ck = ctx.read(checking(cid_from)) or 0.0
+            sv = ctx.read(savings(cid_from)) or 0.0
+            ctx.write(checking(cid_from), 0.0)
+            ctx.write(savings(cid_from), 0.0)
+            ctx.add(checking(cid_to), ck + sv)
+            return ck + sv
+
+        @registry.register("sb_write_check")
+        def sb_write_check(ctx, cid, amount):
+            ck = ctx.read(checking(cid)) or 0.0
+            sv = ctx.read(savings(cid)) or 0.0
+            penalty = 1.0 if ck + sv < amount else 0.0
+            ctx.add(checking(cid), -(amount + penalty))
+            return "ok"
+
+        @registry.register("sb_send_payment")
+        def sb_send_payment(ctx, cid_from, cid_to, amount):
+            balance = ctx.read(checking(cid_from)) or 0.0
+            if balance < amount:
+                return "insufficient"
+            ctx.add(checking(cid_from), -amount)
+            ctx.add(checking(cid_to), amount)
+            return "ok"
+
+        return registry
+
+    def _pick_proc(self, rng: SeededRng) -> str:
+        u = rng.random()
+        for threshold, proc in self._mix_cdf:
+            if u <= threshold:
+                return proc
+        return self._mix_cdf[-1][1]
+
+    def _account(self, rng: SeededRng) -> int:
+        return self._zipf.sample(rng)
+
+    def generate_block(self, size: int, rng: SeededRng) -> list[TxnSpec]:
+        specs = []
+        for _ in range(size):
+            proc = self._pick_proc(rng)
+            cid = self._account(rng)
+            if proc == "sb_balance":
+                spec = TxnSpec(proc, params(cid=cid))
+            elif proc == "sb_deposit_checking":
+                spec = TxnSpec(proc, params(cid=cid, amount=float(rng.randint(1, 100))))
+            elif proc == "sb_transact_savings":
+                spec = TxnSpec(proc, params(cid=cid, amount=float(rng.randint(-50, 100))))
+            elif proc == "sb_write_check":
+                spec = TxnSpec(proc, params(cid=cid, amount=float(rng.randint(1, 50))))
+            else:
+                other = self._account(rng)
+                if other == cid:
+                    other = (cid + 1) % self.num_accounts
+                if proc == "sb_amalgamate":
+                    spec = TxnSpec(proc, params(cid_from=cid, cid_to=other))
+                else:
+                    spec = TxnSpec(
+                        proc,
+                        params(cid_from=cid, cid_to=other, amount=float(rng.randint(1, 50))),
+                    )
+            specs.append(spec)
+        return specs

@@ -1,0 +1,276 @@
+"""TPC-C with the five standard transactions at the standard mix
+(NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%, StockLevel 4%).
+
+Scaled for simulation — the shape of Figure 19 depends on contention
+(warehouse count) and database size, not on absolute cardinalities:
+
+===============  =========  ==============
+population       standard   this module
+===============  =========  ==============
+districts/WH     10         10
+customers/dist   3000       60
+items            100 000    500
+stock/WH         100 000    500
+===============  =========  ==============
+
+Contention structure preserved faithfully:
+
+- NewOrder reads the district's ``next_o_id`` and increments it — a
+  *separated* read-modify-write (the order id keys the inserted rows), so
+  concurrent NewOrders in one district form backward dangerous structures;
+  this is why 1 warehouse hits the structure 47.9% of the time (Table 3).
+- Payment's YTD updates are *fused* arithmetic updates
+  (``UPDATE ... SET ytd = ytd + ?``), which Harmony reorders and coalesces.
+- Delivery/OrderStatus/StockLevel use range scans (phantom-guarded reads).
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import SeededRng
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import TxnSpec
+from repro.workloads.base import Workload, params
+
+DISTRICTS_PER_WAREHOUSE = 10
+CUSTOMERS_PER_DISTRICT = 60
+NUM_ITEMS = 500
+STOCK_PER_WAREHOUSE = 500
+INITIAL_NEXT_O_ID = 1
+BIG = 10**9
+
+MIX = (
+    ("tpcc_new_order", 45),
+    ("tpcc_payment", 43),
+    ("tpcc_order_status", 4),
+    ("tpcc_delivery", 4),
+    ("tpcc_stock_level", 4),
+)
+
+
+def warehouse(w: int) -> tuple:
+    return ("warehouse", w)
+
+
+def district(w: int, d: int) -> tuple:
+    return ("district", w, d)
+
+
+def customer(w: int, d: int, c: int) -> tuple:
+    return ("customer", w, d, c)
+
+
+def item(i: int) -> tuple:
+    return ("item", i)
+
+
+def stock(w: int, i: int) -> tuple:
+    return ("stock", w, i)
+
+
+def order_key(w: int, d: int, o: int) -> tuple:
+    return ("order", w, d, o)
+
+
+def order_line(w: int, d: int, o: int, n: int) -> tuple:
+    return ("order_line", w, d, o, n)
+
+
+def new_order_key(w: int, d: int, o: int) -> tuple:
+    return ("new_order", w, d, o)
+
+
+class TPCCWorkload(Workload):
+    name = "tpcc"
+
+    def __init__(self, num_warehouses: int = 20) -> None:
+        if num_warehouses < 1:
+            raise ValueError("need at least one warehouse")
+        self.num_warehouses = num_warehouses
+
+    # ----------------------------------------------------------------- state
+    def initial_state(self) -> dict:
+        state: dict = {}
+        for i in range(NUM_ITEMS):
+            state[item(i)] = {"price": 1.0 + (i % 100) / 10.0, "name": f"item-{i}"}
+        for w in range(self.num_warehouses):
+            state[warehouse(w)] = {"ytd": 0.0, "tax": 0.05}
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                state[district(w, d)] = {
+                    "ytd": 0.0,
+                    "tax": 0.07,
+                    "next_o_id": INITIAL_NEXT_O_ID,
+                }
+                for c in range(CUSTOMERS_PER_DISTRICT):
+                    state[customer(w, d, c)] = {
+                        "balance": -10.0,
+                        "ytd_payment": 10.0,
+                        "payment_cnt": 1,
+                        "delivery_cnt": 0,
+                    }
+            for i in range(STOCK_PER_WAREHOUSE):
+                state[stock(w, i % NUM_ITEMS)] = {
+                    "quantity": 50,
+                    "ytd": 0,
+                    "order_cnt": 0,
+                }
+        return state
+
+    # ------------------------------------------------------------ procedures
+    def build_registry(self) -> ProcedureRegistry:
+        registry = ProcedureRegistry()
+
+        @registry.register("tpcc_new_order")
+        def tpcc_new_order(ctx, w, d, c, lines):
+            wh = ctx.read(warehouse(w))
+            dist = ctx.read(district(w, d))
+            if wh is None or dist is None:
+                return "missing-warehouse"
+            o_id = dist["next_o_id"]
+            ctx.add_fields(district(w, d), next_o_id=1)
+
+            total = 0.0
+            for n, (i_id, qty) in enumerate(lines):
+                it = ctx.read(item(i_id))
+                if it is None:
+                    return "invalid-item"  # TPC-C: 1% rollback path
+                st = ctx.read(stock(w, i_id))
+                if st is None:
+                    continue
+                if st["quantity"] - qty >= 10:
+                    ctx.add_fields(stock(w, i_id), quantity=-qty, ytd=qty, order_cnt=1)
+                else:
+                    ctx.add_fields(
+                        stock(w, i_id), quantity=91 - qty, ytd=qty, order_cnt=1
+                    )
+                amount = qty * it["price"]
+                total += amount
+                ctx.insert(
+                    order_line(w, d, o_id, n),
+                    {"i_id": i_id, "qty": qty, "amount": amount, "delivery_d": None},
+                )
+            ctx.insert(
+                order_key(w, d, o_id),
+                {"c_id": c, "carrier_id": None, "ol_cnt": len(lines)},
+            )
+            ctx.insert(new_order_key(w, d, o_id), {"o_id": o_id})
+            return total * (1 + wh["tax"] + dist["tax"])
+
+        @registry.register("tpcc_payment")
+        def tpcc_payment(ctx, w, d, c, amount):
+            # fused YTD updates: UPDATE ... SET ytd = ytd + ? (coalescible)
+            ctx.add_fields(warehouse(w), ytd=amount)
+            ctx.add_fields(district(w, d), ytd=amount)
+            ctx.add_fields(
+                customer(w, d, c),
+                balance=-amount,
+                ytd_payment=amount,
+                payment_cnt=1,
+            )
+            return "ok"
+
+        @registry.register("tpcc_order_status")
+        def tpcc_order_status(ctx, w, d, c):
+            cust = ctx.read(customer(w, d, c))
+            if cust is None:
+                return "no-customer"
+            dist = ctx.read(district(w, d))
+            next_o = dist["next_o_id"] if dist else INITIAL_NEXT_O_ID
+            lo = max(INITIAL_NEXT_O_ID, next_o - 20)
+            last_order = None
+            last_oid = None
+            for key, row in ctx.scan(order_key(w, d, lo), order_key(w, d, BIG)):
+                if row.get("c_id") == c:
+                    last_order, last_oid = row, key[3]
+            if last_order is None:
+                return {"balance": cust["balance"], "order": None}
+            lines = list(
+                ctx.scan(order_line(w, d, last_oid, 0), order_line(w, d, last_oid, BIG))
+            )
+            return {"balance": cust["balance"], "order": last_oid, "lines": len(lines)}
+
+        @registry.register("tpcc_delivery")
+        def tpcc_delivery(ctx, w, carrier):
+            delivered = 0
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                oldest = None
+                for key, _row in ctx.scan(
+                    new_order_key(w, d, 0), new_order_key(w, d, BIG)
+                ):
+                    oldest = key[3]
+                    break
+                if oldest is None:
+                    continue
+                ctx.delete(new_order_key(w, d, oldest))
+                order_row = ctx.read(order_key(w, d, oldest))
+                if order_row is None:
+                    continue
+                ctx.set_fields(order_key(w, d, oldest), carrier_id=carrier)
+                total = 0.0
+                for _key, line in ctx.scan(
+                    order_line(w, d, oldest, 0), order_line(w, d, oldest, BIG)
+                ):
+                    total += line.get("amount", 0.0)
+                ctx.add_fields(
+                    customer(w, d, order_row["c_id"]), balance=total, delivery_cnt=1
+                )
+                delivered += 1
+            return delivered
+
+        @registry.register("tpcc_stock_level")
+        def tpcc_stock_level(ctx, w, d, threshold):
+            dist = ctx.read(district(w, d))
+            if dist is None:
+                return 0
+            next_o = dist["next_o_id"]
+            lo = max(INITIAL_NEXT_O_ID, next_o - 20)
+            item_ids = set()
+            for _key, line in ctx.scan(
+                order_line(w, d, lo, 0), order_line(w, d, BIG, 0)
+            ):
+                item_ids.add(line["i_id"])
+            low = 0
+            for i_id in sorted(item_ids):
+                st = ctx.read(stock(w, i_id))
+                if st is not None and st["quantity"] < threshold:
+                    low += 1
+            return low
+
+        return registry
+
+    # ------------------------------------------------------------ generation
+    def _pick_proc(self, rng: SeededRng) -> str:
+        total = sum(weight for _p, weight in MIX)
+        u = rng.random() * total
+        acc = 0.0
+        for proc, weight in MIX:
+            acc += weight
+            if u <= acc:
+                return proc
+        return MIX[-1][0]
+
+    def generate_block(self, size: int, rng: SeededRng) -> list[TxnSpec]:
+        specs = []
+        for _ in range(size):
+            proc = self._pick_proc(rng)
+            w = rng.randint(0, self.num_warehouses - 1)
+            d = rng.randint(0, DISTRICTS_PER_WAREHOUSE - 1)
+            c = rng.randint(0, CUSTOMERS_PER_DISTRICT - 1)
+            if proc == "tpcc_new_order":
+                n_lines = rng.randint(5, 15)
+                lines = tuple(
+                    (rng.randint(0, NUM_ITEMS - 1), rng.randint(1, 10))
+                    for _ in range(n_lines)
+                )
+                specs.append(TxnSpec(proc, params(w=w, d=d, c=c, lines=lines)))
+            elif proc == "tpcc_payment":
+                amount = float(rng.randint(1, 5000)) / 100.0
+                specs.append(TxnSpec(proc, params(w=w, d=d, c=c, amount=amount)))
+            elif proc == "tpcc_order_status":
+                specs.append(TxnSpec(proc, params(w=w, d=d, c=c)))
+            elif proc == "tpcc_delivery":
+                specs.append(TxnSpec(proc, params(w=w, carrier=rng.randint(1, 10))))
+            else:
+                specs.append(
+                    TxnSpec(proc, params(w=w, d=d, threshold=rng.randint(10, 20)))
+                )
+        return specs

@@ -1,0 +1,78 @@
+"""YCSB (Cooper et al., SoCC 2010) as configured by the paper:
+
+10K keys, 10 operations wrapped into one transaction (following Aria/
+TicToc practice), each operation an equally likely SELECT or UPDATE, key
+popularity Zipfian with the "skewness" knob of Figures 11–12.
+
+UPDATEs are expressed as ``set`` commands (a blind field overwrite, like
+YCSB's writes); the *hotspot* variant in :mod:`repro.workloads.hotspot`
+uses arithmetic updates instead.
+"""
+
+from __future__ import annotations
+
+from repro.sim.rng import SeededRng
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import TxnSpec
+from repro.workloads.base import Workload, params
+from repro.workloads.zipf import ZipfGenerator
+
+
+def key_of(index: int) -> tuple:
+    return ("usertable", index)
+
+
+class YCSBWorkload(Workload):
+    name = "ycsb"
+
+    def __init__(
+        self,
+        num_keys: int = 10_000,
+        ops_per_txn: int = 10,
+        read_ratio: float = 0.5,
+        theta: float = 0.6,
+        distinct_keys: bool = True,
+    ) -> None:
+        self.num_keys = num_keys
+        self.ops_per_txn = ops_per_txn
+        self.read_ratio = read_ratio
+        self.theta = theta
+        self.distinct_keys = distinct_keys
+        self._zipf = ZipfGenerator(num_keys, theta)
+        self._write_seq = 0
+
+    def initial_state(self) -> dict:
+        return {key_of(i): 1000 + i for i in range(self.num_keys)}
+
+    def build_registry(self) -> ProcedureRegistry:
+        registry = ProcedureRegistry()
+
+        @registry.register("ycsb_txn")
+        def ycsb_txn(ctx, ops):
+            """ops: tuple of ("r", key_index) / ("w", key_index, value)."""
+            results = []
+            for op in ops:
+                if op[0] == "r":
+                    results.append(ctx.read(key_of(op[1])))
+                else:
+                    ctx.write(key_of(op[1]), op[2])
+            return tuple(results)
+
+        return registry
+
+    def generate_block(self, size: int, rng: SeededRng) -> list[TxnSpec]:
+        specs = []
+        for _ in range(size):
+            if self.distinct_keys:
+                ranks = self._zipf.sample_distinct(rng, self.ops_per_txn)
+            else:
+                ranks = [self._zipf.sample(rng) for _ in range(self.ops_per_txn)]
+            ops = []
+            for rank in ranks:
+                if rng.random() < self.read_ratio:
+                    ops.append(("r", rank))
+                else:
+                    self._write_seq += 1
+                    ops.append(("w", rank, 10_000 + self._write_seq))
+            specs.append(TxnSpec("ycsb_txn", params(ops=tuple(ops))))
+        return specs

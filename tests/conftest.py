@@ -1,0 +1,65 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.engine import StorageEngine
+from repro.txn.commands import AddValue, MulValue, SetValue
+from repro.txn.procedures import ProcedureRegistry
+from repro.txn.transaction import Txn, TxnSpec
+
+
+def make_engine(num_keys: int = 64, pool_pages: int = 8) -> StorageEngine:
+    engine = StorageEngine(pool_pages=pool_pages)
+    engine.preload({("k", i): 100 for i in range(num_keys)})
+    return engine
+
+
+def generic_registry() -> ProcedureRegistry:
+    """A procedure that executes a literal list of operations.
+
+    ops entries: ("r", i) read | ("add", i, d) | ("mul", i, f) | ("set", i, v)
+    | ("rmw", i, d) separated read-then-write | ("scan", lo, hi).
+    Used by unit and property tests to build arbitrary conflict patterns.
+    """
+    registry = ProcedureRegistry()
+
+    @registry.register("ops")
+    def ops_proc(ctx, ops):
+        out = []
+        for op in ops:
+            kind = op[0]
+            if kind == "r":
+                out.append(ctx.read(("k", op[1])))
+            elif kind == "add":
+                ctx.update(("k", op[1]), AddValue(op[2]))
+            elif kind == "mul":
+                ctx.update(("k", op[1]), MulValue(op[2]))
+            elif kind == "set":
+                ctx.update(("k", op[1]), SetValue(op[2]))
+            elif kind == "rmw":
+                value = ctx.read(("k", op[1])) or 0
+                ctx.update(("k", op[1]), SetValue(value + op[2]))
+            elif kind == "scan":
+                out.append(tuple(ctx.scan(("k", op[1]), ("k", op[2]))))
+        return tuple(out)
+
+    return registry
+
+
+def make_txns(op_lists, block_id: int = 0, first_tid: int = 0) -> list[Txn]:
+    return [
+        Txn(tid=first_tid + i, block_id=block_id, spec=TxnSpec("ops", (("ops", tuple(ops)),)))
+        for i, ops in enumerate(op_lists)
+    ]
+
+
+@pytest.fixture
+def engine() -> StorageEngine:
+    return make_engine()
+
+
+@pytest.fixture
+def registry() -> ProcedureRegistry:
+    return generic_registry()

@@ -1,0 +1,148 @@
+"""Tests for metrics containers, the bench report and design-choice ablations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.config import current_scale
+from repro.bench.report import ExperimentResult, render
+from repro.sim.metrics import BlockStats, RunMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_bounds(self):
+        values = [1.0, 2.0, 3.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_median(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == 3.0
+
+
+class TestRunMetrics:
+    def test_rates(self):
+        metrics = RunMetrics(system="s", workload="w")
+        metrics.committed = 80
+        metrics.aborted = 20
+        metrics.false_aborts = 5
+        metrics.sim_time_us = 1e6
+        assert metrics.throughput_tps == pytest.approx(80.0)
+        assert metrics.abort_rate == pytest.approx(0.2)
+        assert metrics.false_abort_rate == pytest.approx(0.05)
+
+    def test_zero_division_safety(self):
+        metrics = RunMetrics(system="s", workload="w")
+        assert metrics.throughput_tps == 0.0
+        assert metrics.abort_rate == 0.0
+        assert metrics.mean_latency_ms == 0.0
+
+    def test_merge_block(self):
+        metrics = RunMetrics(system="s", workload="w")
+        metrics.merge_block(BlockStats(block_id=0, committed=3, aborted=1))
+        metrics.merge_block(BlockStats(block_id=1, committed=2, aborted=2))
+        assert metrics.committed == 5 and metrics.aborted == 3
+        assert metrics.blocks == 2
+
+
+class TestReport:
+    def make_result(self):
+        result = ExperimentResult(
+            name="Figure X", description="demo", headers=["system", "tput"]
+        )
+        result.add("harmony", 1234.5)
+        result.add("aria", 567.8)
+        return result
+
+    def test_render_contains_rows(self):
+        text = render(self.make_result())
+        assert "Figure X" in text
+        assert "harmony" in text and "1,234" in text
+
+    def test_column_and_series(self):
+        result = self.make_result()
+        assert result.column("system") == ["harmony", "aria"]
+        assert result.series("system", "aria", "tput") == [567.8]
+
+    def test_notes_rendered(self):
+        result = self.make_result()
+        result.notes.append("something important")
+        assert "something important" in render(result)
+
+    def test_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        quick = current_scale()
+        monkeypatch.setenv("REPRO_FULL", "1")
+        full = current_scale()
+        assert full.num_blocks > quick.num_blocks
+
+
+# ---------------------------------------------------------------------------
+# Design-choice ablation: Rule 2's quick-sort order vs a full topological sort
+# (DESIGN.md: "quick-sort reordering vs full topological sort equivalence").
+# ---------------------------------------------------------------------------
+from repro.core.validation import HarmonyValidator  # noqa: E402
+from repro.txn.commands import AddValue  # noqa: E402
+from repro.txn.transaction import Txn, TxnSpec  # noqa: E402
+
+
+@st.composite
+def validated_block(draw):
+    n = draw(st.integers(min_value=2, max_value=9))
+    keys = [f"key{i}" for i in range(5)]
+    txns = []
+    for tid in range(1, n + 1):
+        txn = Txn(tid=tid, block_id=0, spec=TxnSpec("ops"))
+        for key in draw(st.lists(st.sampled_from(keys), max_size=3, unique=True)):
+            txn.read_set[key] = None
+        for key in draw(st.lists(st.sampled_from(keys), max_size=3, unique=True)):
+            txn.record_update(key, AddValue(1))
+        txns.append(txn)
+    HarmonyValidator().validate(txns)
+    return [t for t in txns if not t.aborted]
+
+
+def _committed_rw_edges(committed):
+    edges = []
+    for reader in committed:
+        for writer in committed:
+            if reader.tid != writer.tid and any(
+                reader.reads(k) for k in writer.write_set
+            ):
+                edges.append((reader, writer))
+    return edges
+
+
+class TestRule2VsTopologicalSort:
+    @given(validated_block())
+    @settings(max_examples=150, deadline=None)
+    def test_min_out_order_is_a_valid_topological_sort(self, committed):
+        """Rule 2's O(n log n) quick-sort yields an order that any full
+        (O(V+E)) topological sort of the committed rw-subgraph would also
+        accept — the cheap order is never wrong."""
+        order = {t.tid: i for i, t in enumerate(
+            sorted(committed, key=lambda t: (t.min_out, t.tid))
+        )}
+        for reader, writer in _committed_rw_edges(committed):
+            assert order[reader.tid] < order[writer.tid]
+
+    @given(validated_block())
+    @settings(max_examples=100, deadline=None)
+    def test_per_key_sorting_is_globally_consistent(self, committed):
+        """Rule 2 sorts each key's updaters independently; check that the
+        per-key orders embed into the single global witness order (this is
+        what makes parallel per-key sorting sound)."""
+        global_order = {t.tid: i for i, t in enumerate(
+            sorted(committed, key=lambda t: (t.min_out, t.tid))
+        )}
+        by_key: dict = {}
+        for txn in committed:
+            for key in txn.write_set:
+                by_key.setdefault(key, []).append(txn)
+        for key, updaters in by_key.items():
+            ordered = sorted(updaters, key=lambda t: (t.min_out, t.tid))
+            positions = [global_order[t.tid] for t in ordered]
+            assert positions == sorted(positions)

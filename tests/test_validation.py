@@ -1,0 +1,174 @@
+"""Tests for Harmony's abort-minimizing validation (Rule 1 / Algorithm 1).
+
+Includes the paper's worked examples (Figures 2-4) and a property test
+proving Algorithm 1 equivalent to a brute-force evaluation of Rule 1.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.validation import HarmonyValidator, NEG_INF
+from repro.txn.commands import AddValue, SetValue
+from repro.txn.transaction import AbortReason, Txn, TxnSpec
+
+
+def txn_with(tid: int, reads=(), writes=(), block_id: int = 0) -> Txn:
+    txn = Txn(tid=tid, block_id=block_id, spec=TxnSpec("ops"))
+    for key in reads:
+        txn.read_set[key] = None
+    for key in writes:
+        txn.record_update(key, AddValue(1))
+    return txn
+
+
+def validate(txns, **kwargs):
+    validator = HarmonyValidator(**kwargs)
+    return validator.validate(txns)
+
+
+class TestPaperExamples:
+    def test_figure2_no_abort_on_pure_ww(self):
+        """Aria aborts T2 on T1 --ww--> T2; Harmony commits both."""
+        t1 = txn_with(1, writes=["x"])
+        t2 = txn_with(2, writes=["x"])
+        stats = validate([t1, t2])
+        assert stats.aborted_tids == set()
+
+    def test_figure3a_two_transaction_structure(self):
+        """Mutual rw edges: T1 <--rw-- T2 <--rw-- T1 (i == k == 1)."""
+        t1 = txn_with(1, reads=["y"], writes=["x"])
+        t2 = txn_with(2, reads=["x"], writes=["y"])
+        stats = validate([t1, t2])
+        assert stats.aborted_tids == {2}
+        assert t2.abort_reason is AbortReason.BACKWARD_DANGEROUS_STRUCTURE
+        assert t1.status.value != "aborted"
+
+    def test_figure3b_three_transaction_structure(self):
+        """T1 <--rw-- T4 <--rw-- T3: abort T4 (i=1 < j=4, i <= k=3)."""
+        t1 = txn_with(1, writes=["a"])
+        t3 = txn_with(3, reads=["b"], writes=[])
+        t4 = txn_with(4, reads=["a"], writes=["b"])
+        stats = validate([t1, t3, t4])
+        assert stats.aborted_tids == {4}
+
+    def test_figure4_no_structure_all_commit(self):
+        """The Figure 4 graph has no backward dangerous structure."""
+        # edges: T1 --rw--> T2 --rw--> T3, T4 --rw--> T1, T4 --rw--> T3
+        t1 = txn_with(1, reads=["b"], writes=["a", "x"])
+        t2 = txn_with(2, reads=["c"], writes=["b"])
+        t3 = txn_with(3, reads=[], writes=["c", "d", "x"])
+        t4 = txn_with(4, reads=["a", "d"], writes=["x"])
+        stats = validate([t1, t2, t3, t4])
+        assert stats.aborted_tids == set()
+        assert t1.min_out == 2
+        assert t2.min_out == 3
+        assert t3.min_out == 4
+        assert t4.min_out == 1  # min(1, 3)
+
+    def test_single_backward_edge_is_not_dangerous(self):
+        """Fabric aborts on one rw edge; Harmony needs the full structure."""
+        t1 = txn_with(1, writes=["x"])
+        t2 = txn_with(2, reads=["x"])
+        stats = validate([t1, t2])
+        assert stats.aborted_tids == set()
+        assert t2.min_out == 1  # backward edge exists, but no incoming edge
+
+
+class TestCounters:
+    def test_min_out_initialised_to_tid_plus_one(self):
+        t5 = txn_with(5)
+        validate([t5])
+        assert t5.min_out == 6
+        assert t5.max_in == NEG_INF
+
+    def test_forward_edge_does_not_lower_min_out(self):
+        # T1 reads what T9 writes: forward edge, min(9, 2) = 2 unchanged
+        t1 = txn_with(1, reads=["x"])
+        t9 = txn_with(9, writes=["x"])
+        validate([t1, t9])
+        assert t1.min_out == 2
+        assert t9.max_in == 1
+
+    def test_phantom_range_read_creates_edge(self):
+        t1 = txn_with(1, writes=[("k", 5)])
+        t2 = txn_with(2)
+        t2.read_ranges.append((("k", 0), ("k", 10)))
+        t2.record_update(("q", 0), SetValue(1))
+        t3 = txn_with(3)
+        t3.read_set[("q", 0)] = None
+        t3.record_update(("z", 0), SetValue(1))
+        # T2 range-reads T1's write and is read by T3: T1 <- T2 <- T3
+        stats = validate([t1, t2, t3])
+        assert stats.aborted_tids == {2}
+
+    def test_ww_abort_mode_for_ablation(self):
+        """update_reorder=False falls back to Aria-style ww aborts."""
+        t1 = txn_with(1, writes=["x"])
+        t2 = txn_with(2, writes=["x"])
+        stats = validate([t1, t2], update_reorder=False)
+        assert stats.aborted_tids == {2}
+        assert t2.abort_reason is AbortReason.WAW
+
+
+def brute_force_rule1(txns) -> set[int]:
+    """Direct evaluation of Rule 1 over all rw-edge pairs."""
+    out_edges: dict[int, set[int]] = {t.tid: set() for t in txns}
+    for reader in txns:
+        for writer in txns:
+            if reader.tid == writer.tid:
+                continue
+            if any(reader.reads(k) for k in writer.write_set):
+                out_edges[reader.tid].add(writer.tid)
+    aborted = set()
+    for tj in txns:
+        for ti_tid in out_edges[tj.tid]:
+            if ti_tid >= tj.tid:
+                continue
+            for tk in txns:
+                if tj.tid in out_edges[tk.tid] and ti_tid <= tk.tid:
+                    aborted.add(tj.tid)
+    return aborted
+
+
+@st.composite
+def random_block(draw):
+    n = draw(st.integers(min_value=2, max_value=10))
+    keys = [f"key{i}" for i in range(6)]
+    txns = []
+    for tid in range(1, n + 1):
+        reads = draw(st.lists(st.sampled_from(keys), max_size=3, unique=True))
+        writes = draw(st.lists(st.sampled_from(keys), max_size=3, unique=True))
+        txns.append(txn_with(tid, reads=reads, writes=writes))
+    return txns
+
+
+class TestAlgorithmEquivalence:
+    @given(random_block())
+    @settings(max_examples=200, deadline=None)
+    def test_algorithm1_equals_rule1(self, txns):
+        expected = brute_force_rule1(txns)
+        stats = validate(txns)
+        assert stats.aborted_tids == expected
+
+    @given(random_block())
+    @settings(max_examples=200, deadline=None)
+    def test_validation_is_deterministic(self, txns):
+        import copy
+
+        first = validate(copy.deepcopy(txns))
+        second = validate(copy.deepcopy(txns))
+        assert first.aborted_tids == second.aborted_tids
+
+    @given(random_block())
+    @settings(max_examples=200, deadline=None)
+    def test_min_out_order_is_topological(self, txns):
+        """Theorem 2: ascending (min_out, tid) respects committed rw edges."""
+        validate(txns)
+        committed = [t for t in txns if not t.aborted]
+        for reader in committed:
+            for writer in committed:
+                if reader.tid == writer.tid:
+                    continue
+                if any(reader.reads(k) for k in writer.write_set):
+                    assert (reader.min_out, reader.tid) < (writer.min_out, writer.tid)

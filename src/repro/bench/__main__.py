@@ -1,10 +1,12 @@
-"""CLI: regenerate any table/figure of the paper.
+"""CLI: regenerate any table/figure of the paper, or run the perf harness.
 
 Usage::
 
     python -m repro.bench figure7 figure8     # specific experiments
     python -m repro.bench all                 # the whole evaluation
     REPRO_FULL=1 python -m repro.bench all    # longer, steadier runs
+    python -m repro.bench --perf [out.json]   # hot-path perf trajectory
+    python -m repro.bench --perf-smoke        # same, seconds not minutes
 """
 
 from __future__ import annotations
@@ -17,6 +19,18 @@ from repro.bench.report import render
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] in {"--perf", "--perf-smoke"}:
+        from repro.bench.perf import render_perf, run_perf
+
+        start = time.time()
+        run = run_perf(
+            smoke=argv[0] == "--perf-smoke",
+            out_path=argv[1] if len(argv) > 1 else None,
+        )
+        print(render_perf(run))
+        print(f"  ({time.time() - start:.1f}s)")
+        return 0 if run["all_checks_pass"] else 1
+
     names = argv or ["all"]
     if names == ["all"]:
         names = list(EXPERIMENTS)

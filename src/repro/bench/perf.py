@@ -1,0 +1,455 @@
+"""Micro-benchmark harness: perf trajectories for the block-pipeline hot paths.
+
+How ``BENCH_*.json`` files are produced and compared
+----------------------------------------------------
+``python -m repro.bench --perf`` (full, ~a minute) or ``--perf-smoke``
+(seconds) runs every case below twice on identical, seeded synthetic
+inputs — once through the retained naive implementation (the seed's
+quadratic scans: ``indexed=False`` paths, per-key ``insort`` loads,
+full-recompute state hashes) and once through the indexed fast path —
+*verifies both produce identical decisions / outputs*, and appends one run
+record to ``BENCH_perf.json`` (path override: second CLI argument or
+``$REPRO_BENCH_OUT``).
+
+The file accumulates a **trajectory**: ``{"schema": 1, "runs": [...]}``
+where each run carries its mode and per-case
+``{params, naive_s, indexed_s, speedup, checks}``. Future PRs re-run the
+harness and diff their run against the committed history — a case whose
+``indexed_s`` drifts up or whose ``speedup`` collapses between entries is
+a hot-path regression, caught without re-deriving absolute targets per
+machine (compare ratios, not wall-clock).
+
+Cases whose naive baseline is too quadratic to time at the largest size
+(the 1M-key ``MVStore.load``) measure naive at the biggest feasible size
+and extrapolate quadratically; those entries carry
+``naive_extrapolated: true`` alongside an honestly-measured pair at the
+feasible size.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+from bisect import bisect_left, insort
+
+from repro.core.dependencies import BlockDependencyIndex
+from repro.core.validation import HarmonyValidator
+from repro.execution import OverlayView
+from repro.intervals import SortedKeys
+from repro.storage.mvstore import MVStore
+from repro.txn.commands import AddValue, SetValue
+from repro.txn.transaction import Txn, TxnSpec
+
+DEFAULT_OUT = "BENCH_perf.json"
+#: largest size at which the O(n²) insort load is timed rather than
+#: extrapolated (≈ seconds; 1M would take minutes)
+NAIVE_LOAD_CAP = 100_000
+
+
+# --------------------------------------------------------------- inputs
+def _key(i: int) -> tuple:
+    return ("k", i)
+
+
+def make_block(
+    num_txns: int,
+    num_keys: int,
+    rng: random.Random,
+    first_tid: int = 0,
+    block_id: int = 0,
+    range_read_prob: float = 0.6,
+) -> list[Txn]:
+    """A seeded synthetic block: skewed point reads/writes + range reads.
+
+    Mirrors the paper's sweep shape (Zipf-skewed keys, scans registering
+    half-open ranges) without dragging the storage engine into the timed
+    region — validation decisions only consult TIDs and read/write sets.
+    """
+    span = max(4, num_keys // 50)
+    txns = []
+    for i in range(num_txns):
+        txn = Txn(tid=first_tid + i, block_id=block_id, spec=TxnSpec("ops"))
+        for _ in range(rng.randint(2, 4)):
+            txn.read_set[_key(int(num_keys * rng.random() ** 2))] = None
+        if rng.random() < range_read_prob:
+            start = rng.randrange(num_keys)
+            txn.read_ranges.append((_key(start), _key(start + span)))
+        for _ in range(rng.randint(2, 4)):
+            key = _key(int(num_keys * rng.random() ** 2))
+            if rng.random() < 0.5:
+                txn.record_update(key, AddValue(1))
+            else:
+                txn.record_update(key, SetValue(rng.randrange(1000)))
+        txns.append(txn)
+    return txns
+
+
+def clone_txns(txns: list[Txn]) -> list[Txn]:
+    """Fresh runtime records with identical read/write sets (validation
+    mutates counters and statuses, so every timed run gets its own copy)."""
+    out = []
+    for t in txns:
+        c = Txn(tid=t.tid, block_id=t.block_id, spec=t.spec)
+        c.read_set = dict(t.read_set)
+        c.read_ranges = list(t.read_ranges)
+        c.write_set = dict(t.write_set)
+        c.updated_keys = list(t.updated_keys)
+        out.append(c)
+    return out
+
+
+def _commit_survivors(txns: list[Txn]) -> list[Txn]:
+    for t in txns:
+        if not t.aborted:
+            t.mark_committed()
+    return txns
+
+
+def _time(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ---------------------------------------------------- retained naive refs
+def naive_load(store: MVStore, items: dict, block_id: int = -1) -> None:
+    """The seed's O(n²) bulk load: one ``insort`` per fresh key."""
+    for seq, (key, value) in enumerate(items.items()):
+        chain = store._versions.get(key)
+        if chain is None:
+            store._versions[key] = [((block_id, seq), value)]
+            insort(store._sorted_keys, key)
+        else:
+            chain.append(((block_id, seq), value))
+        store._stale_keys.add(key)
+
+
+def naive_scan(view, start, end) -> list:
+    """The seed's snapshot scan: per-key comparison + binary search."""
+    keys = view._store._sorted_keys
+    out = []
+    i = bisect_left(keys, start)
+    while i < len(keys) and keys[i] < end:
+        value, _version = view.get(keys[i])
+        if value is not None:
+            out.append((keys[i], value))
+        i += 1
+    return out
+
+
+def _aria_range_raw_flags(
+    txns: list[Txn], write_reservations: dict, indexed: bool
+) -> list[bool]:
+    """Aria's range-read RAW check, lifted out of the executor so the two
+    implementations are timed without engine noise (txns here carry only
+    read ranges, matching the point-checks-already-passed call site)."""
+    reserved = SortedKeys(write_reservations) if indexed else None
+    flags = []
+    for txn in txns:
+        if indexed:
+            raw = any(
+                write_reservations[key] < txn.tid
+                for start, end in txn.read_ranges
+                for key in reserved.in_range(start, end)
+            )
+        else:
+            raw = any(
+                owner < txn.tid and txn.reads(key)
+                for key, owner in write_reservations.items()
+            )
+        flags.append(raw)
+    return flags
+
+
+# --------------------------------------------------------------- cases
+def bench_validation(block_size: int, num_keys: int, repeats: int, seed: int) -> dict:
+    """Rule 1 + Rule 3 validation of one block against committed records."""
+    rng = random.Random(seed)
+    prev = make_block(block_size, num_keys, rng)
+    HarmonyValidator().validate(prev)
+    records = HarmonyValidator.records_for(_commit_survivors(prev))
+    block = make_block(block_size, num_keys, rng, first_tid=block_size)
+
+    results = {}
+    for label, indexed in (("naive", False), ("indexed", True)):
+        validator = HarmonyValidator(inter_block=True, indexed=indexed)
+        clones = [clone_txns(block) for _ in range(repeats)]
+        it = iter(clones)
+        results[label] = (
+            _time(lambda: validator.validate(next(it), records), repeats),
+            validator.validate(clone_txns(block), records).aborted_tids,
+        )
+    (naive_s, naive_aborts), (indexed_s, indexed_aborts) = (
+        results["naive"],
+        results["indexed"],
+    )
+    return _case(
+        "validation",
+        {"block_size": block_size, "num_keys": num_keys},
+        naive_s,
+        indexed_s,
+        checks={"aborts_equal": naive_aborts == indexed_aborts},
+    )
+
+
+def bench_rw_edges(block_size: int, num_keys: int, repeats: int, seed: int) -> dict:
+    """Intra-block rw-edge extraction (shared by Harmony and RBC)."""
+    block = make_block(block_size, num_keys, random.Random(seed))
+    naive_index = BlockDependencyIndex(block, indexed=False)
+    fast_index = BlockDependencyIndex(block, indexed=True)
+    naive_s = _time(lambda: list(naive_index.rw_edges()), repeats)
+    indexed_s = _time(lambda: list(fast_index.rw_edges()), repeats)
+    equal = list(naive_index.rw_edges()) == list(fast_index.rw_edges())
+    return _case(
+        "rw_edges",
+        {"block_size": block_size, "num_keys": num_keys},
+        naive_s,
+        indexed_s,
+        checks={"edges_equal": equal},
+    )
+
+
+def bench_reachability(block_size: int, num_keys: int, repeats: int, seed: int) -> dict:
+    """Committed-block records + transitive closure (Rule 3 inputs)."""
+    block = make_block(block_size, num_keys, random.Random(seed))
+    HarmonyValidator().validate(block)
+    _commit_survivors(block)
+    naive_s = _time(lambda: HarmonyValidator.records_for(block, indexed=False), repeats)
+    indexed_s = _time(lambda: HarmonyValidator.records_for(block, indexed=True), repeats)
+    equal = (
+        HarmonyValidator.records_for(block, indexed=False).reachable
+        == HarmonyValidator.records_for(block, indexed=True).reachable
+    )
+    return _case(
+        "records_reachability",
+        {"block_size": block_size, "num_keys": num_keys},
+        naive_s,
+        indexed_s,
+        checks={"closures_equal": equal},
+    )
+
+
+def bench_mvstore_load(num_keys: int, repeats: int, seed: int) -> dict:
+    """Bulk-load of the key directory (workload populate)."""
+    rng = random.Random(seed)
+    order = list(range(num_keys))
+    rng.shuffle(order)
+    items = {_key(i): i for i in order}
+
+    stores = [MVStore() for _ in range(repeats)]
+    it = iter(stores)
+    indexed_s = _time(lambda: next(it).load(items), repeats)
+
+    extrapolated = num_keys > NAIVE_LOAD_CAP
+    if extrapolated:
+        sample_n = NAIVE_LOAD_CAP
+        sample_items = {k: items[k] for k in list(items)[:sample_n]}
+        sampled = _time(lambda: naive_load(MVStore(), sample_items), 1)
+        naive_s = sampled * (num_keys / sample_n) ** 2  # insort is O(n²)
+    else:
+        naive_stores = [MVStore() for _ in range(repeats)]
+        nit = iter(naive_stores)
+        naive_s = _time(lambda: naive_load(next(nit), items), repeats)
+
+    reference = MVStore()
+    naive_load(reference, items)
+    checks = {
+        "sorted_keys_equal": stores[0]._sorted_keys == reference._sorted_keys,
+        "state_hash_equal": stores[0].state_hash() == reference.state_hash_full(),
+    }
+    case = _case(
+        "mvstore_load", {"num_keys": num_keys}, naive_s, indexed_s, checks=checks
+    )
+    case["naive_extrapolated"] = extrapolated
+    return case
+
+
+def bench_snapshot_scan(num_keys: int, repeats: int, seed: int) -> dict:
+    """Full-range snapshot scan over a multi-version store."""
+    rng = random.Random(seed)
+    store = MVStore()
+    store.load({_key(i): i for i in range(num_keys)})
+    for block_id in range(8):  # grow some chains so snapshots matter
+        writes = [(_key(rng.randrange(num_keys)), rng.randrange(1000)) for _ in range(num_keys // 20)]
+        store.apply_block(block_id, writes)
+    view = store.snapshot(4)
+    lo, hi = _key(0), _key(num_keys)
+    naive_s = _time(lambda: naive_scan(view, lo, hi), repeats)
+    indexed_s = _time(lambda: list(view.scan(lo, hi)), repeats)
+    equal = naive_scan(view, lo, hi) == list(view.scan(lo, hi))
+    return _case(
+        "snapshot_scan",
+        {"num_keys": num_keys},
+        naive_s,
+        indexed_s,
+        checks={"rows_equal": equal},
+    )
+
+
+def bench_overlay_scan(num_keys: int, repeats: int, seed: int) -> dict:
+    """Serial-execution overlay scan (base snapshot + in-block writes)."""
+    rng = random.Random(seed)
+    store = MVStore()
+    store.load({_key(i): i for i in range(num_keys)})
+    overlay = OverlayView(store.latest_snapshot(), block_id=0)
+    for _ in range(max(16, num_keys // 100)):
+        overlay.put(_key(rng.randrange(num_keys)), rng.randrange(1000))
+    lo, hi = _key(0), _key(num_keys)
+    naive_s = _time(lambda: list(overlay._scan_dict_merge(lo, hi)), repeats)
+    indexed_s = _time(lambda: list(overlay.scan(lo, hi)), repeats)
+    equal = list(overlay._scan_dict_merge(lo, hi)) == list(overlay.scan(lo, hi))
+    return _case(
+        "overlay_scan",
+        {"num_keys": num_keys},
+        naive_s,
+        indexed_s,
+        checks={"rows_equal": equal},
+    )
+
+
+def bench_aria_range_check(
+    block_size: int, num_keys: int, repeats: int, seed: int
+) -> dict:
+    """Aria's range-read RAW probe against the write-reservation table."""
+    rng = random.Random(seed)
+    block = make_block(block_size, num_keys, rng, range_read_prob=1.0)
+    for txn in block:
+        txn.read_set.clear()  # the executor's point checks ran already
+    reservations: dict = {}
+    for txn in block:
+        for key in txn.write_set:
+            reservations.setdefault(key, txn.tid)
+    naive_s = _time(lambda: _aria_range_raw_flags(block, reservations, False), repeats)
+    indexed_s = _time(lambda: _aria_range_raw_flags(block, reservations, True), repeats)
+    equal = _aria_range_raw_flags(block, reservations, False) == _aria_range_raw_flags(
+        block, reservations, True
+    )
+    return _case(
+        "aria_range_check",
+        {"block_size": block_size, "num_keys": num_keys},
+        naive_s,
+        indexed_s,
+        checks={"flags_equal": equal},
+    )
+
+
+def bench_state_hash(num_keys: int, num_blocks: int, repeats: int, seed: int) -> dict:
+    """Per-block state-hash refresh (incremental vs full recompute)."""
+    rng = random.Random(seed)
+    store = MVStore()
+    store.load({_key(i): i for i in range(num_keys)})
+    store.state_hash()  # settle the accumulator before timing
+    blocks = [
+        [(_key(rng.randrange(num_keys)), rng.randrange(1000)) for _ in range(32)]
+        for _ in range(num_blocks)
+    ]
+
+    def incremental():
+        for block_id, writes in enumerate(blocks, store.last_committed_block + 1):
+            store.apply_block(block_id, writes)
+            store.state_hash()
+
+    def full():
+        for block_id, writes in enumerate(blocks, store.last_committed_block + 1):
+            store.apply_block(block_id, writes)
+            store.state_hash_full()
+
+    naive_s = _time(full, 1)
+    indexed_s = _time(incremental, 1)
+    equal = store.state_hash() == store.state_hash_full()
+    return _case(
+        "state_hash",
+        {"num_keys": num_keys, "num_blocks": num_blocks},
+        naive_s,
+        indexed_s,
+        checks={"hashes_equal": equal},
+    )
+
+
+def _case(name: str, params: dict, naive_s: float, indexed_s: float, checks: dict) -> dict:
+    return {
+        "case": name,
+        "params": params,
+        "naive_s": round(naive_s, 6),
+        "indexed_s": round(indexed_s, 6),
+        "speedup": round(naive_s / indexed_s, 2) if indexed_s > 0 else float("inf"),
+        "checks": checks,
+    }
+
+
+# ----------------------------------------------------------------- driver
+def run_perf(smoke: bool = False, out_path: str | None = None) -> dict:
+    """Run every case, verify differential equality, persist the record."""
+    seed = 20230604  # SIGMOD'23 — stable across runs so inputs are identical
+    repeats = 2 if smoke else 3
+    block_sizes = (25, 100) if smoke else (25, 100, 400)
+    scan_keys = 20_000 if smoke else 200_000
+    load_sizes = (20_000,) if smoke else (100_000, 1_000_000)
+
+    cases: list[dict] = []
+    for block_size in block_sizes:
+        num_keys = max(2_000, block_size * 50)
+        cases.append(bench_validation(block_size, num_keys, repeats, seed))
+        cases.append(bench_rw_edges(block_size, num_keys, repeats, seed + 1))
+        cases.append(bench_reachability(block_size, num_keys, repeats, seed + 2))
+        cases.append(bench_aria_range_check(block_size, num_keys, repeats, seed + 3))
+    for num_keys in load_sizes:
+        cases.append(bench_mvstore_load(num_keys, max(1, repeats - 1), seed + 4))
+    cases.append(bench_snapshot_scan(scan_keys, repeats, seed + 5))
+    cases.append(bench_overlay_scan(scan_keys, repeats, seed + 6))
+    cases.append(bench_state_hash(10_000 if smoke else 50_000, 20, repeats, seed + 7))
+
+    run = {
+        "bench": "perf",
+        "mode": "smoke" if smoke else "full",
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "cases": cases,
+        "all_checks_pass": all(
+            all(case["checks"].values()) for case in cases
+        ),
+    }
+    _persist(run, out_path)
+    return run
+
+
+def _persist(run: dict, out_path: str | None) -> str:
+    path = out_path or os.environ.get("REPRO_BENCH_OUT") or DEFAULT_OUT
+    history: list[dict] = []
+    if os.path.exists(path):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                existing = json.load(fh)
+            history = existing.get("runs", []) if isinstance(existing, dict) else []
+        except (OSError, ValueError):
+            history = []
+    history.append(run)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"schema": 1, "runs": history}, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def render_perf(run: dict) -> str:
+    lines = [
+        f"perf trajectory run — mode={run['mode']}  "
+        f"checks={'PASS' if run['all_checks_pass'] else 'FAIL'}",
+        f"{'case':<22}{'params':<34}{'naive_s':>10}{'indexed_s':>11}{'speedup':>9}",
+    ]
+    for case in run["cases"]:
+        params = ",".join(f"{k}={v}" for k, v in case["params"].items())
+        star = "*" if case.get("naive_extrapolated") else ""
+        lines.append(
+            f"{case['case']:<22}{params:<34}{case['naive_s']:>10.4f}"
+            f"{case['indexed_s']:>11.4f}{case['speedup']:>8.1f}x{star}"
+        )
+    if any(c.get("naive_extrapolated") for c in run["cases"]):
+        lines.append("  (* naive timing extrapolated quadratically from "
+                     f"{NAIVE_LOAD_CAP:,} keys)")
+    return "\n".join(lines)

@@ -9,6 +9,19 @@ Predicate reads are covered: a scan registers its half-open range, and any
 write landing inside the range raises the same event — "Harmony does not
 have phantoms because a predicate-read will also trigger
 on_seeing_rw_dependency" (Section 3.2).
+
+Two implementations share this class:
+
+- ``indexed=True`` (default) answers range-reader lookups through a
+  sorted-boundary :class:`~repro.intervals.RangeIndex`, making
+  :meth:`BlockDependencyIndex.rw_edges` near-linear in the number of
+  edges;
+- ``indexed=False`` retains the naive linear scan over every registered
+  range per written key. It is kept as the differential-testing reference
+  (``tests/test_perf_differential.py``) and as the baseline the
+  ``repro.bench.perf`` harness measures speedups against.
+
+Both paths produce identical reader lists and edge streams.
 """
 
 from __future__ import annotations
@@ -16,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
+from repro.intervals import RangeIndex, covers
 from repro.txn.transaction import Txn
 
 
@@ -31,17 +45,20 @@ class RWEdge:
 class BlockDependencyIndex:
     """Per-block index of point reads, range reads and writes."""
 
-    def __init__(self, txns: list[Txn]) -> None:
+    def __init__(self, txns: list[Txn], indexed: bool = True) -> None:
         self.txns = txns
+        self.indexed = indexed
         self._by_tid = {t.tid: t for t in txns}
         self._point_readers: dict[object, list[int]] = {}
         self._range_readers: list[tuple[object, object, int]] = []
+        self._range_index = RangeIndex()
         self._writers: dict[object, list[int]] = {}
         for txn in txns:
             for key in txn.read_set:
                 self._point_readers.setdefault(key, []).append(txn.tid)
             for start, end in txn.read_ranges:
                 self._range_readers.append((start, end, txn.tid))
+                self._range_index.add(start, end, txn.tid)
             for key in txn.write_set:
                 self._writers.setdefault(key, []).append(txn.tid)
 
@@ -52,14 +69,31 @@ class BlockDependencyIndex:
         return self._writers.get(key, [])
 
     def readers_of(self, key: object) -> list[int]:
-        """Point readers plus range readers whose range covers ``key``."""
+        """Point readers plus range readers whose range covers ``key``.
+
+        De-duplicated (a transaction appears once even when several of its
+        ranges cover the key), point readers first, then range readers in
+        registration order — identical output on both implementations.
+        """
+        if not self.indexed:
+            return self._readers_of_naive(key)
+        point = self._point_readers.get(key)
+        ranged = self._range_index.stab(key)
+        if not ranged:
+            return list(point) if point else []
+        readers = list(point) if point else []
+        seen = set(readers)
+        for tid in ranged:
+            if tid not in seen:
+                seen.add(tid)
+                readers.append(tid)
+        return readers
+
+    def _readers_of_naive(self, key: object) -> list[int]:
+        """Seed implementation: linear scan over every registered range."""
         readers = list(self._point_readers.get(key, []))
         for start, end, tid in self._range_readers:
-            try:
-                covers = start <= key < end
-            except TypeError:
-                covers = False
-            if covers and tid not in readers:
+            if covers(start, end, key) and tid not in readers:
                 readers.append(tid)
         return readers
 
@@ -67,9 +101,52 @@ class BlockDependencyIndex:
         return iter(self._writers)
 
     def rw_edges(self) -> Iterator[RWEdge]:
-        """All intra-block rw edges, each (reader, writer, key) once."""
+        """All intra-block rw edges, each (reader, writer, key) once.
+
+        With the interval index this is O(written_keys · log ranges +
+        edges) instead of O(written_keys · ranges).
+        """
         for key, writer_tids in self._writers.items():
             for reader_tid in self.readers_of(key):
                 for writer_tid in writer_tids:
                     if reader_tid != writer_tid:
                         yield RWEdge(reader_tid, writer_tid, key)
+
+    def fold_rw_counters(self) -> None:
+        """Apply every ``on_seeing_rw_dependency`` event directly to the
+        transactions' Algorithm-1 counters.
+
+        Equivalent to iterating :meth:`rw_edges` and folding each edge into
+        ``reader.min_out`` / ``writer.max_in``, but without materializing
+        an edge object (or two TID lookups) per edge: for each written key
+        the per-reader minimum writer TID and per-writer maximum reader TID
+        are derived from the key's two extreme writers/readers, so the fold
+        is O(readers + writers) per key instead of O(readers · writers).
+        """
+        by_tid = self._by_tid
+        for key, writer_tids in self._writers.items():
+            readers = self.readers_of(key)
+            if not readers:
+                continue
+            if len(writer_tids) == 1:
+                w_min, w_min2 = writer_tids[0], None
+            else:
+                w_min = min(writer_tids)
+                w_min2 = min(t for t in writer_tids if t != w_min)
+            if len(readers) == 1:
+                r_max, r_max2 = readers[0], None
+            else:
+                r_max = max(readers)
+                r_max2 = max(t for t in readers if t != r_max)
+            for reader_tid in readers:
+                target = w_min2 if reader_tid == w_min else w_min
+                if target is not None:
+                    reader = by_tid[reader_tid]
+                    if target < reader.min_out:
+                        reader.min_out = target
+            for writer_tid in writer_tids:
+                source = r_max2 if writer_tid == r_max else r_max
+                if source is not None:
+                    writer = by_tid[writer_tid]
+                    if source > writer.max_in:
+                        writer.max_in = source

@@ -27,6 +27,14 @@ block *i* consults those records for:
   current-block middle transaction, and
 - (iii) outgoing inter-block rw edges into a previous-block transaction that
   was itself a structure middle (``min_out < tid``) — the Figure 6 case.
+
+Performance: the hot loops run against sorted-key / interval indexes
+(``indexed=True``, the default) — range reads slice the previous block's
+written keys with two bisects, written keys stab the committed range
+readers, and the committed-block reachability closure is computed with
+per-node bitsets instead of one DFS per node. The naive quadratic paths
+are retained behind ``indexed=False`` as the differential-testing
+reference; both produce bit-identical commit/abort decisions.
 """
 
 from __future__ import annotations
@@ -34,6 +42,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.dependencies import BlockDependencyIndex
+from repro.intervals import RangeIndex, SortedKeys, covers
 from repro.txn.transaction import AbortReason, Txn
 
 NEG_INF = float("-inf")
@@ -57,7 +66,11 @@ class CommittedRecord:
 
 @dataclass
 class PrevBlockRecords:
-    """Committed-transaction facts of the previous block (Rule 3 inputs)."""
+    """Committed-transaction facts of the previous block (Rule 3 inputs).
+
+    Treated as immutable once built by :meth:`HarmonyValidator.records_for`;
+    the two ``*_index`` accessors cache derived indexes on that assumption.
+    """
 
     #: key -> committed records that wrote it
     writers: dict = field(default_factory=dict)
@@ -77,6 +90,25 @@ class PrevBlockRecords:
             return True
         return to_pos in self.reachable.get(from_pos, ())
 
+    def writer_key_index(self) -> SortedKeys:
+        """Sorted index over the keys the committed block wrote (cached)."""
+        index = self.__dict__.get("_writer_key_index")
+        if index is None:
+            index = SortedKeys(self.writers)
+            self._writer_key_index = index
+        return index
+
+    def range_reader_index(self) -> RangeIndex:
+        """Stabbing index over committed range reads, payload = witness_pos
+        (cached)."""
+        index = self.__dict__.get("_range_reader_index")
+        if index is None:
+            index = RangeIndex(
+                (start, end, pos) for start, end, _tid, pos in self.range_readers
+            )
+            self._range_reader_index = index
+        return index
+
 
 @dataclass
 class ValidationStats:
@@ -95,11 +127,20 @@ class HarmonyValidator:
     cannot be resolved by reordering, so the validator falls back to Aria's
     style: among transactions updating the same key, only the smallest TID
     survives.
+
+    ``indexed=False`` selects the retained naive scans everywhere (the
+    differential-testing / benchmarking baseline).
     """
 
-    def __init__(self, inter_block: bool = False, update_reorder: bool = True) -> None:
+    def __init__(
+        self,
+        inter_block: bool = False,
+        update_reorder: bool = True,
+        indexed: bool = True,
+    ) -> None:
         self.inter_block = inter_block
         self.update_reorder = update_reorder
+        self.indexed = indexed
 
     def validate(
         self,
@@ -112,18 +153,22 @@ class HarmonyValidator:
         writer facts (only consulted when ``inter_block``).
         """
         stats = ValidationStats()
-        index = BlockDependencyIndex(txns)
+        index = BlockDependencyIndex(txns, indexed=self.indexed)
 
         # --- simulation-step events: fold rw edges into the counters.
         for txn in txns:
             txn.min_out = txn.tid + 1
             txn.max_in = NEG_INF
-        for edge in index.rw_edges():
-            reader = index.txn(edge.reader_tid)
-            writer = index.txn(edge.writer_tid)
-            # Event on_seeing_rw_dependency(T_writer <--rw-- T_reader):
-            reader.min_out = min(writer.tid, reader.min_out)
-            writer.max_in = max(reader.tid, writer.max_in)
+        if self.indexed:
+            # Fused fold: same events, no per-edge object churn.
+            index.fold_rw_counters()
+        else:
+            for edge in index.rw_edges():
+                reader = index.txn(edge.reader_tid)
+                writer = index.txn(edge.writer_tid)
+                # Event on_seeing_rw_dependency(T_writer <--rw-- T_reader):
+                reader.min_out = min(writer.tid, reader.min_out)
+                writer.max_in = max(reader.tid, writer.max_in)
 
         inter_doomed: set[int] = set()
         if self.inter_block and prev_records:
@@ -176,7 +221,62 @@ class HarmonyValidator:
 
         All inputs are committed facts of an already-decided block, so every
         replica reaches identical decisions regardless of message timing.
+
+        Indexed path: each range read slices ``prev``'s written keys with
+        two bisects; each written key stabs the committed-range-reader
+        index — O((reads + writes) · log |prev| + hits) per transaction
+        instead of a full scan of ``prev`` per read range / written key.
         """
+        if not self.indexed:
+            self._fold_inter_block_edges_naive(txns, prev, inter_doomed)
+            return
+
+        writer_keys = prev.writer_key_index()
+        range_reader_index = prev.range_reader_index()
+        prev_writers = prev.writers
+        prev_readers = prev.readers
+        for txn in txns:
+            backward_positions: set[int] = set()
+            forward_positions: set[int] = set()
+
+            # Backward targets (``see_target`` in the naive path, inlined —
+            # this runs once per committed writer hit).
+            for key in txn.read_set:
+                for record in prev_writers.get(key, ()):
+                    if record.tid < txn.min_out:
+                        txn.min_out = record.tid
+                    backward_positions.add(record.witness_pos)
+                    if record.min_out < record.tid:  # was a structure middle
+                        inter_doomed.add(txn.tid)
+            for start, end in txn.read_ranges:
+                for key in writer_keys.in_range(start, end):
+                    for record in prev_writers[key]:
+                        if record.tid < txn.min_out:
+                            txn.min_out = record.tid
+                        backward_positions.add(record.witness_pos)
+                        if record.min_out < record.tid:
+                            inter_doomed.add(txn.tid)
+
+            for key in txn.write_set:
+                for record in prev_writers.get(key, ()):  # ww into T
+                    forward_positions.add(record.witness_pos)
+                for _tid, pos in prev_readers.get(key, ()):  # rw into T
+                    forward_positions.add(pos)
+                for pos in range_reader_index.stab(key):
+                    forward_positions.add(pos)
+
+            self._close_structure(
+                txn, prev, backward_positions, forward_positions, inter_doomed
+            )
+
+    def _fold_inter_block_edges_naive(
+        self,
+        txns: list[Txn],
+        prev: PrevBlockRecords,
+        inter_doomed: set[int],
+    ) -> None:
+        """Seed implementation: every range read scans every previous-block
+        written key, every written key scans every committed range reader."""
         for txn in txns:
             backward_positions: set[int] = set()
             forward_positions: set[int] = set()
@@ -192,11 +292,7 @@ class HarmonyValidator:
                     see_target(record)
             for start, end in txn.read_ranges:
                 for key, records in prev.writers.items():
-                    try:
-                        covered = start <= key < end
-                    except TypeError:
-                        covered = False
-                    if covered:
+                    if covers(start, end, key):
                         for record in records:
                             see_target(record)
 
@@ -206,21 +302,30 @@ class HarmonyValidator:
                 for _tid, pos in prev.readers.get(key, ()):  # rw into T
                     forward_positions.add(pos)
                 for start, end, _tid, pos in prev.range_readers:
-                    try:
-                        covered = start <= key < end
-                    except TypeError:
-                        covered = False
-                    if covered:
+                    if covers(start, end, key):
                         forward_positions.add(pos)
 
-            if txn.tid in inter_doomed or not backward_positions or not forward_positions:
-                continue
-            if any(
-                prev.reaches(target, source)
-                for target in backward_positions
-                for source in forward_positions
-            ):
-                inter_doomed.add(txn.tid)
+            self._close_structure(
+                txn, prev, backward_positions, forward_positions, inter_doomed
+            )
+
+    @staticmethod
+    def _close_structure(
+        txn: Txn,
+        prev: PrevBlockRecords,
+        backward_positions: set[int],
+        forward_positions: set[int],
+        inter_doomed: set[int],
+    ) -> None:
+        """Doom ``txn`` when a backward target reaches a forward source."""
+        if txn.tid in inter_doomed or not backward_positions or not forward_positions:
+            return
+        if any(
+            prev.reaches(target, source)
+            for target in backward_positions
+            for source in forward_positions
+        ):
+            inter_doomed.add(txn.tid)
 
     def _abort_ww_losers(self, txns: list[Txn], stats: ValidationStats) -> None:
         """Ablation mode (no update reordering): Aria-style ww aborts —
@@ -241,7 +346,7 @@ class HarmonyValidator:
                     break
 
     @staticmethod
-    def records_for(txns: list[Txn]) -> PrevBlockRecords:
+    def records_for(txns: list[Txn], indexed: bool = True) -> PrevBlockRecords:
         """Build the committed-transaction facts the next block consults."""
         committed = sorted(
             (t for t in txns if t.committed), key=lambda t: (t.min_out, t.tid)
@@ -265,17 +370,86 @@ class HarmonyValidator:
                 records.readers.setdefault(key, []).append((txn.tid, pos))
             for start, end in txn.read_ranges:
                 records.range_readers.append((start, end, txn.tid, pos))
-        records.reachable = HarmonyValidator._reachability(committed)
+        records.reachable = HarmonyValidator._reachability(committed, indexed=indexed)
         return records
 
     @staticmethod
-    def _reachability(committed: list[Txn]) -> dict[int, frozenset]:
+    def _reachability(
+        committed: list[Txn], indexed: bool = True
+    ) -> dict[int, frozenset]:
         """Transitive closure over the committed block's dependency graph.
 
         Nodes are witness positions; edges are the block's rw anti-
         dependencies (reader -> writer) and the per-key apply chains (ww/wr
         in Rule-2 order, which equals ascending witness position).
+
+        The indexed path finds each key's readers through a point-read map
+        plus a range stabbing index (instead of re-evaluating
+        ``txn.reads(key)`` for every (key, txn) pair), then closes the
+        graph with per-node bitsets propagated in reverse witness order —
+        near reverse-topological, since apply-chain edges always point to
+        higher positions — iterating to a fixpoint so residual backward rw
+        edges (and any cycles they form) are still closed exactly.
         """
+        if not indexed:
+            return HarmonyValidator._reachability_naive(committed)
+        n = len(committed)
+        edges: dict[int, set[int]] = {i: set() for i in range(n)}
+        writers_by_key: dict[object, list[int]] = {}
+        point_readers: dict[object, list[int]] = {}
+        range_index = RangeIndex()
+        for pos, txn in enumerate(committed):
+            for key in txn.write_set:
+                writers_by_key.setdefault(key, []).append(pos)
+            for key in txn.read_set:
+                point_readers.setdefault(key, []).append(pos)
+            for start, end in txn.read_ranges:
+                range_index.add(start, end, pos)
+        for key, writer_positions in writers_by_key.items():
+            ordered = sorted(writer_positions)
+            for earlier, later in zip(ordered, ordered[1:]):
+                edges[earlier].add(later)
+            reader_positions = set(point_readers.get(key, ()))
+            reader_positions.update(range_index.stab(key))
+            for pos in reader_positions:
+                for writer_pos in writer_positions:
+                    if writer_pos != pos:
+                        edges[pos].add(writer_pos)
+
+        # Bitset closure: reach[i] = positions reachable from i via >= 1 edge.
+        succ = [0] * n
+        for i, outs in edges.items():
+            for j in outs:
+                succ[i] |= 1 << j
+        reach = list(succ)
+        changed = True
+        while changed:
+            changed = False
+            for i in range(n - 1, -1, -1):
+                acc = succ[i]
+                bits = succ[i]
+                while bits:
+                    j = (bits & -bits).bit_length() - 1
+                    acc |= reach[j]
+                    bits &= bits - 1
+                if acc != reach[i]:
+                    reach[i] = acc
+                    changed = True
+        closure: dict[int, frozenset] = {}
+        for i in range(n):
+            bits = reach[i]
+            members = []
+            while bits:
+                j = (bits & -bits).bit_length() - 1
+                members.append(j)
+                bits &= bits - 1
+            closure[i] = frozenset(members)
+        return closure
+
+    @staticmethod
+    def _reachability_naive(committed: list[Txn]) -> dict[int, frozenset]:
+        """Seed implementation: per-(key, txn) ``reads`` probes and one DFS
+        per node. Retained as the differential-testing reference."""
         n = len(committed)
         edges: dict[int, set[int]] = {i: set() for i in range(n)}
         writers_by_key: dict[object, list[int]] = {}

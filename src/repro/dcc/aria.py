@@ -21,6 +21,7 @@ ww contention that Harmony's update reordering removes.
 from __future__ import annotations
 
 from repro.execution import BlockExecution, DCCExecutor, simulate_transactions
+from repro.intervals import SortedKeys
 from repro.storage.engine import StorageEngine
 from repro.txn.commands import apply_safely
 from repro.txn.procedures import ProcedureRegistry
@@ -38,9 +39,14 @@ class AriaExecutor(DCCExecutor):
         engine: StorageEngine,
         registry: ProcedureRegistry,
         deterministic_reordering: bool = True,
+        indexed: bool = True,
     ) -> None:
         super().__init__(engine, registry)
         self.deterministic_reordering = deterministic_reordering
+        #: range-read RAW checks via a sorted reservation-key index
+        #: (``False`` retains the naive full-table scan for differential
+        #: testing / benchmarking).
+        self.indexed = indexed
 
     def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
         snapshot = self.engine.snapshot(block_id - 1)
@@ -56,6 +62,11 @@ class AriaExecutor(DCCExecutor):
             for key in txn.read_set:
                 read_reservations.setdefault(key, txn.tid)
 
+        #: sorted write-reservation keys — each range read becomes two
+        #: bisects plus the covered keys instead of a scan of the whole
+        #: reservation table (built lazily, only when a range read exists).
+        reserved_keys: SortedKeys | None = None
+
         committed: list[Txn] = []
         for txn in sorted(txns, key=lambda t: t.tid):
             if txn.aborted:
@@ -67,10 +78,19 @@ class AriaExecutor(DCCExecutor):
                 write_reservations.get(key, txn.tid) < txn.tid for key in txn.read_set
             )
             if not raw and txn.read_ranges:
-                raw = any(
-                    owner < txn.tid and txn.reads(key)
-                    for key, owner in write_reservations.items()
-                )
+                if self.indexed:
+                    if reserved_keys is None:
+                        reserved_keys = SortedKeys(write_reservations)
+                    raw = any(
+                        write_reservations[key] < txn.tid
+                        for start, end in txn.read_ranges
+                        for key in reserved_keys.in_range(start, end)
+                    )
+                else:
+                    raw = any(
+                        owner < txn.tid and txn.reads(key)
+                        for key, owner in write_reservations.items()
+                    )
             war = any(
                 read_reservations.get(key, txn.tid) < txn.tid for key in txn.write_set
             )

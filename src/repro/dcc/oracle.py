@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.intervals import covers
 from repro.txn.transaction import Txn
 
 
@@ -62,13 +63,7 @@ def has_cycle(adjacency: dict[int, set[int]]) -> bool:
 def _covers(txn: Txn, key: object) -> bool:
     if key in txn.read_set:
         return True
-    for start, end in txn.read_ranges:
-        try:
-            if start <= key < end:
-                return True
-        except TypeError:
-            continue
-    return False
+    return any(covers(start, end, key) for start, end in txn.read_ranges)
 
 
 def block_dependency_graph(
@@ -208,11 +203,7 @@ class HistoryOracle:
                 self._add_read_edges(adjacency, tid, key, read_block)
             for start, end in self._range_facts.get(tid, []):
                 for key in self._chains:
-                    try:
-                        covered = start <= key < end
-                    except TypeError:
-                        covered = False
-                    if covered and key not in reads:
+                    if covers(start, end, key) and key not in reads:
                         self._add_read_edges(adjacency, tid, key, snap)
         return adjacency
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.intervals import covers
 from repro.sim.metrics import BlockStats
 from repro.storage.engine import StorageEngine
 from repro.storage.mvstore import TOMBSTONE, SnapshotView
@@ -111,13 +112,39 @@ class OverlayView:
         self._seq += 1
 
     def scan(self, start: object, end: object):
+        """Stream-merge the (sorted) base scan with the overlay's covered
+        writes — no materialization of the whole base range. Overlay
+        entries shadow base entries on key collisions; dead overlay values
+        (tombstones / ``None``) suppress the base row."""
+        overlay_keys = [key for key in self._writes if covers(start, end, key)]
+        try:
+            overlay_keys.sort()
+        except TypeError:
+            # Heterogeneous overlay keys: fall back to the dict merge.
+            yield from self._scan_dict_merge(start, end)
+            return
+        writes = self._writes
+        base = self._base.scan(start, end)
+        base_entry = next(base, None)
+        for key in overlay_keys:
+            while base_entry is not None and base_entry[0] < key:
+                yield base_entry
+                base_entry = next(base, None)
+            if base_entry is not None and base_entry[0] == key:
+                base_entry = next(base, None)  # shadowed by the overlay
+            value = writes[key][0]
+            if value is not TOMBSTONE and value is not None:
+                yield key, value
+        while base_entry is not None:
+            yield base_entry
+            base_entry = next(base, None)
+
+    def _scan_dict_merge(self, start: object, end: object):
+        """Seed implementation (materializes the base range); retained as
+        the unsortable-key fallback and differential-testing reference."""
         merged = {key: value for key, value in self._base.scan(start, end)}
         for key, (value, _version) in self._writes.items():
-            try:
-                covered = start <= key < end
-            except TypeError:
-                covered = False
-            if covered:
+            if covers(start, end, key):
                 merged[key] = value
         for key in sorted(merged):
             if merged[key] is not TOMBSTONE and merged[key] is not None:

@@ -9,13 +9,28 @@ regardless of message delays.
 Versions are tagged ``(block_id, seq)`` where ``seq`` is the apply order
 within the block — the sub-block component is what SOV-style validation
 (Fabric) compares read versions against.
+
+Hot-path notes:
+
+- :meth:`MVStore.load` builds the sorted key directory with one sort
+  (O(n log n)) instead of a per-key ``insort`` (O(n²) on large workload
+  populates); :meth:`MVStore.apply_block` batches new keys the same way.
+- :meth:`SnapshotView.scan` bisects the key directory once per boundary
+  and walks the slice with a chain-tail fast path, falling back to the
+  per-chain binary search only when the newest version is not yet visible
+  at the snapshot.
+- :meth:`MVStore.state_hash` is incremental: each live ``(key, value)``
+  entry contributes a 256-bit SHA digest combined into a running
+  accumulator by addition mod 2²⁵⁶ (Bellare–Micciancio's AdHash — order
+  independent without XOR's linear malleability), and only keys written
+  since the last call are re-hashed. :meth:`MVStore.state_hash_full`
+  recomputes from scratch and is the differential-testing reference.
 """
 
 from __future__ import annotations
 
 import hashlib
 from bisect import bisect_left, insort
-from typing import Iterator
 
 
 class _Tombstone:
@@ -40,6 +55,16 @@ def canonical(value: object) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value)
+
+
+#: accumulator modulus for the additive (AdHash-style) state hash
+_HASH_MOD = 1 << 256
+
+
+def _entry_digest(key: object, value: object) -> int:
+    """The 256-bit contribution of one live entry to the state hash."""
+    payload = f"{key!r}->{canonical(value)};".encode()
+    return int.from_bytes(hashlib.sha256(payload).digest(), "big")
 
 
 class SnapshotView:
@@ -73,15 +98,36 @@ class SnapshotView:
             return None, version
         return value, version
 
-    def scan(self, start: object, end: object) -> Iterator[tuple[object, object]]:
-        """Yield ``(key, value)`` for live keys with start <= key < end."""
+    def scan(self, start: object, end: object):
+        """Yield ``(key, value)`` for live keys with start <= key < end.
+
+        One bisect per range boundary instead of a per-key comparison, and
+        a chain-tail fast path: when a key's newest version is already
+        visible at this snapshot (the overwhelmingly common case) the
+        per-key binary search is skipped entirely.
+        """
         keys = self._store._sorted_keys
-        i = bisect_left(keys, start)
-        while i < len(keys) and keys[i] < end:
-            value, _version = self.get(keys[i])
-            if value is not None:
-                yield keys[i], value
-            i += 1
+        versions = self._store._versions
+        block_id = self.block_id
+        lo = bisect_left(keys, start)
+        hi = bisect_left(keys, end)
+        for i in range(lo, hi):
+            key = keys[i]
+            chain = versions[key]
+            version, value = chain[-1]
+            if version[0] > block_id:
+                if chain[0][0][0] > block_id:
+                    continue  # key born after this snapshot
+                c_lo, c_hi = 0, len(chain)
+                while c_lo < c_hi:
+                    mid = (c_lo + c_hi) // 2
+                    if chain[mid][0][0] <= block_id:
+                        c_lo = mid + 1
+                    else:
+                        c_hi = mid
+                version, value = chain[c_lo - 1]
+            if value is not TOMBSTONE and value is not None:
+                yield key, value
 
 
 class MVStore:
@@ -92,21 +138,64 @@ class MVStore:
         self._versions: dict[object, list[tuple[Version, object]]] = {}
         self._sorted_keys: list[object] = []
         self.last_committed_block = -1
+        #: incremental state-hash accumulator (sum of live entry digests
+        #: mod 2**256 — additive so stale contributions can be retracted)
+        self._live_digest = 0
+        #: key -> digest currently folded into the accumulator
+        self._key_digest: dict[object, int] = {}
+        #: keys written since the accumulator was last brought up to date
+        self._stale_keys: set[object] = set()
 
     def __contains__(self, key: object) -> bool:
         value, _ = self.get_latest(key)
         return value is not None
 
     def __len__(self) -> int:
-        return sum(1 for key in self._sorted_keys if key in self)
+        return sum(
+            1
+            for chain in self._versions.values()
+            if chain[-1][1] is not TOMBSTONE and chain[-1][1] is not None
+        )
 
     def keys(self) -> list[object]:
-        return [key for key in self._sorted_keys if key in self]
+        return [
+            key
+            for key in self._sorted_keys
+            if (latest := self._versions[key][-1][1]) is not TOMBSTONE
+            and latest is not None
+        ]
 
     def load(self, items: dict[object, object], block_id: int = -1) -> None:
         """Bulk-load initial state as a pseudo-block (no snapshot bump)."""
+        versions = self._versions
+        if not versions:
+            # Common case — populating a fresh store: build the chain map
+            # in one comprehension and the key directory with one sort.
+            self._versions = {
+                key: [((block_id, seq), value)]
+                for seq, (key, value) in enumerate(items.items())
+            }
+            self._sorted_keys = sorted(self._versions)
+            self._stale_keys.update(self._versions)
+            return
+        new_keys = []
         for seq, (key, value) in enumerate(items.items()):
-            self._append(key, (block_id, seq), value)
+            chain = versions.get(key)
+            if chain is None:
+                versions[key] = [((block_id, seq), value)]
+                new_keys.append(key)
+            else:
+                if chain[-1][0][0] > block_id:
+                    # Appending an older version would break the
+                    # block-sorted chain invariant that every snapshot
+                    # lookup (get *and* scan) binary-searches on.
+                    raise ValueError(
+                        f"load(block_id={block_id}) after block "
+                        f"{chain[-1][0][0]} would break {key!r}'s version order"
+                    )
+                chain.append(((block_id, seq), value))
+        self._stale_keys.update(items)
+        self._merge_new_keys(new_keys)
 
     def get_latest(self, key: object) -> tuple[object | None, Version | None]:
         chain = self._versions.get(key)
@@ -133,17 +222,41 @@ class MVStore:
             raise ValueError(
                 f"block {block_id} is not after last committed {self.last_committed_block}"
             )
+        versions = self._versions
+        stale = self._stale_keys
+        new_keys = []
         for seq, (key, value) in enumerate(writes):
-            self._append(key, (block_id, seq), value)
+            chain = versions.get(key)
+            if chain is None:
+                versions[key] = [((block_id, seq), value)]
+                new_keys.append(key)
+            else:
+                chain.append(((block_id, seq), value))
+            stale.add(key)
+        self._merge_new_keys(new_keys)
         self.last_committed_block = block_id
 
+    def _merge_new_keys(self, new_keys: list[object]) -> None:
+        """Fold freshly-created keys into the sorted directory: one sort
+        per batch instead of one O(n) ``insort`` per key."""
+        if not new_keys:
+            return
+        if self._sorted_keys:
+            self._sorted_keys.extend(new_keys)
+            self._sorted_keys.sort()
+        else:
+            new_keys.sort()
+            self._sorted_keys = new_keys
+
     def _append(self, key: object, version: Version, value: object) -> None:
+        """Single-key append (kept for ad-hoc use; block paths batch)."""
         chain = self._versions.get(key)
         if chain is None:
             self._versions[key] = [(version, value)]
             insort(self._sorted_keys, key)
         else:
             chain.append((version, value))
+        self._stale_keys.add(key)
 
     def gc(self, keep_after_block: int) -> int:
         """Drop versions strictly older than the latest one at or before
@@ -162,13 +275,46 @@ class MVStore:
         return dropped
 
     def state_hash(self) -> str:
-        """Digest of the latest live state — replica-consistency fingerprint."""
-        hasher = hashlib.sha256()
-        for key in self._sorted_keys:
-            value, _version = self.get_latest(key)
-            if value is not None:
-                hasher.update(f"{key!r}->{canonical(value)};".encode())
-        return hasher.hexdigest()
+        """Digest of the latest live state — replica-consistency fingerprint.
+
+        Incremental: only keys written since the previous call are
+        re-hashed; each live entry's digest is folded into a running
+        accumulator by addition mod 2**256 (AdHash-style — commutative,
+        so the result depends only on the live content, never on write
+        history, while avoiding the linear malleability of an XOR
+        combiner that a Byzantine replica could exploit).
+        """
+        if self._stale_keys:
+            digest = self._live_digest
+            key_digest = self._key_digest
+            versions = self._versions
+            for key in self._stale_keys:
+                chain = versions.get(key)
+                value = chain[-1][1] if chain else None
+                if value is TOMBSTONE or value is None:
+                    new = 0
+                else:
+                    new = _entry_digest(key, value)
+                old = key_digest.get(key, 0)
+                if new != old:
+                    digest = (digest - old + new) % _HASH_MOD
+                    if new:
+                        key_digest[key] = new
+                    else:
+                        del key_digest[key]
+            self._live_digest = digest
+            self._stale_keys.clear()
+        return f"{self._live_digest:064x}"
+
+    def state_hash_full(self) -> str:
+        """Recompute :meth:`state_hash` from scratch (reference path for
+        differential tests; never consults the incremental accumulator)."""
+        digest = 0
+        for key, chain in self._versions.items():
+            value = chain[-1][1]
+            if value is not TOMBSTONE and value is not None:
+                digest = (digest + _entry_digest(key, value)) % _HASH_MOD
+        return f"{digest:064x}"
 
     def materialize(self) -> dict[object, object]:
         """The latest live state as a plain dict (checkpointing)."""

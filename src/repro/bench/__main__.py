@@ -7,6 +7,8 @@ Usage::
     REPRO_FULL=1 python -m repro.bench all    # longer, steadier runs
     python -m repro.bench --perf [out.json]   # hot-path perf trajectory
     python -m repro.bench --perf-smoke        # same, seconds not minutes
+    python -m repro.bench --perf-smoke --check  # also fail (exit 1) when
+                                                # any case's speedup < 1.0
 """
 
 from __future__ import annotations
@@ -20,16 +22,25 @@ from repro.bench.report import render
 
 def main(argv: list[str]) -> int:
     if argv and argv[0] in {"--perf", "--perf-smoke"}:
-        from repro.bench.perf import render_perf, run_perf
+        from repro.bench.perf import regressed_cases, render_perf, run_perf
 
+        check = "--check" in argv[1:]
+        paths = [a for a in argv[1:] if a != "--check"]
         start = time.time()
         run = run_perf(
             smoke=argv[0] == "--perf-smoke",
-            out_path=argv[1] if len(argv) > 1 else None,
+            out_path=paths[0] if paths else None,
         )
         print(render_perf(run))
         print(f"  ({time.time() - start:.1f}s)")
-        return 0 if run["all_checks_pass"] else 1
+        status = 0 if run["all_checks_pass"] else 1
+        if check:
+            regressed = regressed_cases(run)
+            for line in regressed:
+                print(f"  REGRESSED: {line}")
+            if regressed:
+                status = 1
+        return status
 
     names = argv or ["all"]
     if names == ["all"]:

@@ -61,6 +61,7 @@ def make_block(
     first_tid: int = 0,
     block_id: int = 0,
     range_read_prob: float = 0.6,
+    writes_per_txn: tuple[int, int] = (2, 4),
 ) -> list[Txn]:
     """A seeded synthetic block: skewed point reads/writes + range reads.
 
@@ -77,7 +78,7 @@ def make_block(
         if rng.random() < range_read_prob:
             start = rng.randrange(num_keys)
             txn.read_ranges.append((_key(start), _key(start + span)))
-        for _ in range(rng.randint(2, 4)):
+        for _ in range(rng.randint(*writes_per_txn)):
             key = _key(int(num_keys * rng.random() ** 2))
             if rng.random() < 0.5:
                 txn.record_update(key, AddValue(1))
@@ -372,6 +373,147 @@ def bench_state_hash(num_keys: int, num_blocks: int, repeats: int, seed: int) ->
     )
 
 
+def bench_oracle_build_graph(
+    num_blocks: int, block_size: int, num_keys: int, repeats: int, seed: int
+) -> dict:
+    """History-oracle graph build over a multi-block committed history.
+
+    The naive path re-scans every write chain per range read on every
+    ``build_graph`` call; the indexed path stabs a sorted chain-key
+    directory and memoizes the per-key chain edges across calls (the
+    per-block ``is_serializable`` usage pattern).
+    """
+    from repro.core.reordering import KeyApply
+    from repro.dcc.oracle import HistoryOracle
+
+    rng = random.Random(seed)
+    oracles = {"naive": HistoryOracle(indexed=False), "indexed": HistoryOracle()}
+    tid = 0
+    for block_id in range(num_blocks):
+        txns = make_block(block_size, num_keys, rng, first_tid=tid, block_id=block_id)
+        tid += len(txns)
+        HarmonyValidator().validate(txns)
+        _commit_survivors(txns)
+        chains: dict = {}
+        for txn in sorted(txns, key=lambda t: (t.min_out, t.tid)):
+            if txn.committed:
+                for key in txn.write_set:
+                    chains.setdefault(key, []).append(txn.tid)
+        applies = [
+            KeyApply(key=key, updater_tids=tids, handler_tid=tids[0])
+            for key, tids in chains.items()
+        ]
+        for oracle in oracles.values():
+            oracle.record_block(
+                block_id, txns, applies, snapshot_block_id=block_id - 1
+            )
+
+    naive_s = _time(oracles["naive"].build_graph, repeats)
+    indexed_s = _time(oracles["indexed"].build_graph, repeats)
+    equal = oracles["naive"].build_graph() == oracles["indexed"].build_graph()
+    return _case(
+        "oracle_build_graph",
+        {"num_blocks": num_blocks, "block_size": block_size, "num_keys": num_keys},
+        naive_s,
+        indexed_s,
+        checks={"adjacency_equal": equal},
+    )
+
+
+def bench_materialize(num_keys: int, num_blocks: int, repeats: int, seed: int) -> dict:
+    """Checkpoint materialization (latest and at-snapshot) of a large store."""
+    rng = random.Random(seed)
+    store = MVStore()
+    store.load({_key(i): i for i in range(num_keys)})
+    from repro.storage.mvstore import TOMBSTONE
+
+    for block_id in range(num_blocks):
+        writes = []
+        for _ in range(num_keys // 20):
+            roll = rng.random()
+            value = TOMBSTONE if roll < 0.05 else (None if roll < 0.1 else rng.randrange(1000))
+            writes.append((_key(rng.randrange(num_keys)), value))
+        store.apply_block(block_id, writes)
+    mid = num_blocks // 2
+
+    def run(indexed: bool):
+        return store.materialize(indexed=indexed), store.materialize_at(
+            mid, indexed=indexed
+        )
+
+    naive_s = _time(lambda: run(False), repeats)
+    indexed_s = _time(lambda: run(True), repeats)
+    equal = run(False) == run(True)
+    return _case(
+        "materialize",
+        {"num_keys": num_keys, "num_blocks": num_blocks},
+        naive_s,
+        indexed_s,
+        checks={"states_equal": equal},
+    )
+
+
+def bench_reorder_reuse(block_size: int, num_keys: int, repeats: int, seed: int) -> dict:
+    """Commit-step reservation-table derivation: rebuild from the block vs
+    reuse the validator's per-key updater chains.
+
+    Timed in isolation from the command evaluation / page-cost machinery
+    (same lift as the Aria range check); the chains themselves are
+    collected inside the validator's index-construction loop
+    (``collect_writer_txns=True``), so every ``derive_reservation`` call
+    here does the same work the per-block production call does — no
+    cross-repeat memoization. Runs on the paper's hotspot shape:
+    write-heavy ww contention with disjoint reads, where Harmony's
+    reordering commits everything (Figure 14), so the table the naive
+    path rebuilds is exactly the chains the validator already extracted.
+    The checks also run both variants through the full
+    ``apply_write_sets`` and require identical results.
+    """
+    from repro.core.reordering import apply_write_sets, derive_reservation
+
+    block = make_block(
+        block_size,
+        num_keys,
+        random.Random(seed),
+        range_read_prob=0.0,
+        writes_per_txn=(6, 10),
+    )
+    for txn in block:
+        txn.read_set.clear()  # ww-only contention: reads don't conflict
+    stats = HarmonyValidator().validate(block)
+    for txn in block:
+        if not txn.aborted:
+            txn.mark_committed()
+
+    naive_s = _time(lambda: derive_reservation(block, None), repeats)
+    indexed_s = _time(lambda: derive_reservation(block, stats.dep_index), repeats)
+
+    def run(dep_index):
+        return apply_write_sets(
+            block,
+            read_base=lambda key: 0,
+            write_cost=lambda key: 1.0,
+            dep_index=dep_index,
+        )
+
+    naive_result, reuse_result = run(None), run(stats.dep_index)
+    checks = {
+        "reservations_equal": derive_reservation(block, None)
+        == derive_reservation(block, stats.dep_index),
+        "writes_equal": naive_result.ordered_writes == reuse_result.ordered_writes,
+        "applies_equal": naive_result.key_applies == reuse_result.key_applies,
+        "commit_cpu_equal": naive_result.txn_commit_cpu_us
+        == reuse_result.txn_commit_cpu_us,
+    }
+    return _case(
+        "reorder_reuse",
+        {"block_size": block_size, "num_keys": num_keys},
+        naive_s,
+        indexed_s,
+        checks=checks,
+    )
+
+
 def _case(name: str, params: dict, naive_s: float, indexed_s: float, checks: dict) -> dict:
     return {
         "case": name,
@@ -399,11 +541,18 @@ def run_perf(smoke: bool = False, out_path: str | None = None) -> dict:
         cases.append(bench_rw_edges(block_size, num_keys, repeats, seed + 1))
         cases.append(bench_reachability(block_size, num_keys, repeats, seed + 2))
         cases.append(bench_aria_range_check(block_size, num_keys, repeats, seed + 3))
+        cases.append(bench_reorder_reuse(block_size, num_keys, repeats, seed + 8))
     for num_keys in load_sizes:
         cases.append(bench_mvstore_load(num_keys, max(1, repeats - 1), seed + 4))
     cases.append(bench_snapshot_scan(scan_keys, repeats, seed + 5))
     cases.append(bench_overlay_scan(scan_keys, repeats, seed + 6))
     cases.append(bench_state_hash(10_000 if smoke else 50_000, 20, repeats, seed + 7))
+    if smoke:
+        cases.append(bench_oracle_build_graph(4, 50, 2_500, repeats, seed + 9))
+        cases.append(bench_materialize(20_000, 6, repeats, seed + 10))
+    else:
+        cases.append(bench_oracle_build_graph(6, 200, 10_000, repeats, seed + 9))
+        cases.append(bench_materialize(scan_keys, 8, repeats, seed + 10))
 
     run = {
         "bench": "perf",
@@ -417,6 +566,21 @@ def run_perf(smoke: bool = False, out_path: str | None = None) -> dict:
     }
     _persist(run, out_path)
     return run
+
+
+def regressed_cases(run: dict) -> list[str]:
+    """Cases whose indexed path is no faster than the naive baseline.
+
+    Backs ``python -m repro.bench --perf[-smoke] --check``: a hot path
+    whose ``speedup`` fell below 1.0 has regressed to (or past) the seed's
+    naive implementation, which should fail fast in CI-style use.
+    """
+    return [
+        f"{case['case']}({','.join(f'{k}={v}' for k, v in case['params'].items())})"
+        f" speedup={case['speedup']}"
+        for case in run["cases"]
+        if case["speedup"] < 1.0
+    ]
 
 
 def _persist(run: dict, out_path: str | None) -> str:

@@ -46,19 +46,32 @@ def recover_node(crashed: ReplicaNode, executor_factory=None) -> ReplicaNode:
         replay_from = checkpoint.block_id
         if checkpoint.prev_state is not None:
             engine.store.load(checkpoint.prev_state, block_id=-1)
-            delta = {
-                key: value
-                for key, value in checkpoint.state.items()
-                if checkpoint.prev_state.get(key) != value
-            }
-            removed = [
-                (key, None)
-                for key in checkpoint.prev_state
-                if key not in checkpoint.state
-            ]
-            writes = list(delta.items())
-            for key, _ in removed:
-                writes.append((key, TOMBSTONE))
+            if checkpoint.block_writes is not None:
+                # Replay the checkpoint block's recorded writes verbatim:
+                # the version batch (same (block_id, seq) tags, same
+                # TOMBSTONEs) comes out identical to an uncrashed
+                # replica's, which SOV-style version checks rely on. A
+                # state diff cannot do this — it is blind to keys
+                # rewritten with an unchanged value.
+                writes = list(checkpoint.block_writes)
+            else:
+                # Legacy checkpoints without block_writes: diff the two
+                # snapshots. Membership, not .get(): a key born with a
+                # stored-None value between them must enter the delta, or
+                # the recovered replica loses the version an uncrashed
+                # one holds.
+                delta = {
+                    key: value
+                    for key, value in checkpoint.state.items()
+                    if key not in checkpoint.prev_state
+                    or checkpoint.prev_state[key] != value
+                }
+                writes = list(delta.items())
+                writes.extend(
+                    (key, TOMBSTONE)
+                    for key in checkpoint.prev_state
+                    if key not in checkpoint.state
+                )
             # fast-forward version history so the replayed blocks see both
             # snapshot(block-1) and snapshot(block)
             engine.store.last_committed_block = checkpoint.block_id - 1

@@ -45,7 +45,12 @@ class RWEdge:
 class BlockDependencyIndex:
     """Per-block index of point reads, range reads and writes."""
 
-    def __init__(self, txns: list[Txn], indexed: bool = True) -> None:
+    def __init__(
+        self,
+        txns: list[Txn],
+        indexed: bool = True,
+        collect_writer_txns: bool = False,
+    ) -> None:
         self.txns = txns
         self.indexed = indexed
         self._by_tid = {t.tid: t for t in txns}
@@ -53,20 +58,49 @@ class BlockDependencyIndex:
         self._range_readers: list[tuple[object, object, int]] = []
         self._range_index = RangeIndex()
         self._writers: dict[object, list[int]] = {}
+        #: key -> updater Txns in block (TID) order. Only the commit step
+        #: (update reordering) consumes these chains, and the reuse only
+        #: beats a commit-time rebuild when they ride along in this loop —
+        #: so builders whose commit step will call :meth:`writer_txns`
+        #: (Harmony's validator) pass ``collect_writer_txns=True``, and
+        #: everyone else (e.g. RBC's SSI checker) pays nothing.
+        writer_txns: dict[object, list[Txn]] | None = (
+            {} if collect_writer_txns else None
+        )
         for txn in txns:
             for key in txn.read_set:
                 self._point_readers.setdefault(key, []).append(txn.tid)
             for start, end in txn.read_ranges:
                 self._range_readers.append((start, end, txn.tid))
                 self._range_index.add(start, end, txn.tid)
-            for key in txn.write_set:
-                self._writers.setdefault(key, []).append(txn.tid)
+            if writer_txns is None:
+                for key in txn.write_set:
+                    self._writers.setdefault(key, []).append(txn.tid)
+            else:
+                for key in txn.write_set:
+                    self._writers.setdefault(key, []).append(txn.tid)
+                    writer_txns.setdefault(key, []).append(txn)
+        self._writer_txns = writer_txns
 
     def txn(self, tid: int) -> Txn:
         return self._by_tid[tid]
 
     def writers_of(self, key: object) -> list[int]:
         return self._writers.get(key, [])
+
+    def writer_txns(self) -> dict[object, list[Txn]]:
+        """Per-key updater chains (all statuses; commit-time callers filter
+        aborted updaters themselves). Built on first use when the index was
+        constructed without ``collect_writer_txns`` — write sets are frozen
+        once validation starts, so the late build sees the same chains
+        (though at rebuild cost; pass the flag on hot paths)."""
+        chains = self._writer_txns
+        if chains is None:
+            chains = self._writer_txns = {}
+            for txn in self.txns:
+                for key in txn.write_set:
+                    chains.setdefault(key, []).append(txn)
+        return chains
 
     def readers_of(self, key: object) -> list[int]:
         """Point readers plus range readers whose range covers ``key``.

@@ -85,6 +85,7 @@ class HarmonyExecutor(DCCExecutor):
             write_cost=self.engine.write_cost,
             op_cpu_us=self.engine.costs.op_cpu_us,
             do_coalesce=self.config.coalesce,
+            dep_index=vstats.dep_index,
         )
 
         self._prev_records = HarmonyValidator.records_for(txns)

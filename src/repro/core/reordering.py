@@ -53,12 +53,56 @@ class ReorderingResult:
     txn_commit_cpu_us: dict = field(default_factory=dict)
 
 
+def derive_reservation(txns: list[Txn], dep_index=None) -> dict:
+    """The update-reservation table: key -> surviving updaters, block order.
+
+    With ``dep_index`` (the :class:`~repro.core.dependencies.BlockDependencyIndex`
+    the validator built over the *same* transactions) the per-key updater
+    chains are reused instead of re-derived: a block with no aborts shares
+    the index's chains outright, a block with few aborts subtracts the
+    doomed updaters, and a block dominated by aborts falls back to the
+    output-sensitive rebuild. ``dep_index=None`` is the seed's rebuild,
+    retained as the differential-testing reference; all paths produce
+    identical tables.
+    """
+    reservation: dict[object, list[Txn]]
+    aborted = None if dep_index is None else [t for t in txns if t.aborted]
+    if dep_index is not None and len(aborted) * 4 <= len(txns):
+        # Only the commit/abort decisions are new information since the
+        # index chained updaters per key (Harmony reorders ww conflicts
+        # instead of aborting, so aborts are usually few). The untouched
+        # chains are shared with the index — commit-step callers must not
+        # mutate them.
+        reservation = dep_index.writer_txns() if not aborted else dict(
+            dep_index.writer_txns()
+        )
+        for txn in aborted:
+            for key in txn.updated_keys:
+                updaters = reservation.get(key)
+                if updaters is None:
+                    continue
+                kept = [t for t in updaters if t is not txn]
+                if kept:
+                    reservation[key] = kept
+                else:
+                    del reservation[key]
+        return reservation
+    reservation = {}
+    for txn in txns:
+        if txn.aborted:
+            continue
+        for key in txn.updated_keys:
+            reservation.setdefault(key, []).append(txn)
+    return reservation
+
+
 def apply_write_sets(
     txns: list[Txn],
     read_base,
     write_cost,
     op_cpu_us: float = 1.0,
     do_coalesce: bool = True,
+    dep_index=None,
 ) -> ReorderingResult:
     """Evaluate surviving transactions' update commands (Algorithm 2).
 
@@ -68,18 +112,19 @@ def apply_write_sets(
     the store's latest committed version. ``write_cost(key)`` charges one
     physical update of the key's page and returns its simulated cost.
 
+    ``dep_index`` is the :class:`~repro.core.dependencies.BlockDependencyIndex`
+    the validator built over the *same* transactions: its per-key updater
+    chains are reused instead of re-deriving the reservation table from
+    scratch. ``dep_index=None`` retains the seed's rebuild as the
+    differential-testing reference; both paths are bit-identical.
+
     Returns the ordered writes to install plus the commit step's task
     durations for the scheduler.
     """
     result = ReorderingResult()
 
     # update_reservation: key -> updater txns, in TID order (deterministic).
-    reservation: dict[object, list[Txn]] = {}
-    for txn in txns:
-        if txn.aborted:
-            continue
-        for key in txn.updated_keys:
-            reservation.setdefault(key, []).append(txn)
+    reservation = derive_reservation(txns, dep_index)
 
     for txn in txns:
         if not txn.aborted:

@@ -118,6 +118,12 @@ class ValidationStats:
     dangerous_structure_hits: int = 0
     inter_block_aborts: int = 0
     ww_aborts: int = 0
+    #: the dependency index built for this block — handed to the commit
+    #: step so update reordering reuses the per-key chains instead of
+    #: re-deriving them (see :func:`repro.core.reordering.apply_write_sets`)
+    dep_index: BlockDependencyIndex | None = field(
+        default=None, repr=False, compare=False
+    )
 
 
 class HarmonyValidator:
@@ -153,7 +159,10 @@ class HarmonyValidator:
         writer facts (only consulted when ``inter_block``).
         """
         stats = ValidationStats()
-        index = BlockDependencyIndex(txns, indexed=self.indexed)
+        index = BlockDependencyIndex(
+            txns, indexed=self.indexed, collect_writer_txns=True
+        )
+        stats.dep_index = index
 
         # --- simulation-step events: fold rw edges into the counters.
         for txn in txns:

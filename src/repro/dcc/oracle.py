@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.intervals import covers
+from repro.intervals import SortedKeys, covers
 from repro.txn.transaction import Txn
 
 
@@ -137,13 +137,29 @@ class HistoryOracle:
     Executors feed each block's committed transactions plus the per-key
     apply chains; the oracle rebuilds the full multi-version dependency
     graph of the history and checks it for cycles.
+
+    ``indexed=True`` (default) resolves each range read by slicing a
+    :class:`~repro.intervals.SortedKeys` index over the write-chain keys
+    (two bisects + the covered keys) and memoizes the per-key ww/wr chain
+    edges across :meth:`build_graph` calls. Read edges are *not* cached —
+    a chain growing in a later block retroactively adds edges for old
+    readers, so they are re-derived from every recorded read each call
+    (each now a stab instead of a full-chain scan). ``indexed=False``
+    retains the seed's scan of every chain per range read as the
+    differential-testing reference; both produce identical adjacency.
     """
 
+    indexed: bool = True
     _read_facts: dict[int, dict] = field(default_factory=dict)
     _range_facts: dict[int, list] = field(default_factory=dict)
     _snapshot_block: dict[int, int] = field(default_factory=dict)
     _chains: dict[object, list] = field(default_factory=dict)
     _tids: list[int] = field(default_factory=list)
+    #: indexed-path caches (valid only while the recorded facts grow
+    #: append-only, which record_block guarantees)
+    _key_index: SortedKeys | None = field(default=None, repr=False, compare=False)
+    _chain_edges: list = field(default_factory=list, repr=False, compare=False)
+    _chain_folded: dict = field(default_factory=dict, repr=False, compare=False)
 
     def record_block(
         self,
@@ -161,11 +177,17 @@ class HistoryOracle:
             self._read_facts[txn.tid] = dict(txn.read_set)
             self._range_facts[txn.tid] = list(txn.read_ranges)
             self._snapshot_block[txn.tid] = snap
+        new_keys = []
         for item in key_applies:
-            chain = self._chains.setdefault(item.key, [])
+            chain = self._chains.get(item.key)
+            if chain is None:
+                chain = self._chains[item.key] = []
+                new_keys.append(item.key)
             ordered = [tid for tid in item.updater_tids if tid in committed]
             for pos, tid in enumerate(ordered):
                 chain.append(_WritePosition(block_id, pos, tid))
+        if new_keys and self._key_index is not None:
+            self._key_index.extend(new_keys)
 
     def _add_read_edges(
         self,
@@ -185,7 +207,54 @@ class HistoryOracle:
             else:
                 adjacency[write.tid].add(tid)  # wr: observed the write
 
+    def _fold_chain_edges(self) -> list:
+        """Extend the memoized ww/wr chain-edge list with entries appended
+        since the previous :meth:`build_graph` call (chains are append-only,
+        so already-folded pairs never change)."""
+        edges = self._chain_edges
+        folded = self._chain_folded
+        for key, chain in self._chains.items():
+            done = folded.get(key, 0)
+            n = len(chain)
+            if done == n:
+                continue
+            for i in range(done - 1 if done else 0, n - 1):
+                earlier, later = chain[i], chain[i + 1]
+                if earlier.tid != later.tid:
+                    edges.append((earlier.tid, later.tid))
+            folded[key] = n
+        return edges
+
     def build_graph(self) -> dict[int, set[int]]:
+        if not self.indexed:
+            return self._build_graph_naive()
+        adjacency: dict[int, set[int]] = {tid: set() for tid in self._tids}
+
+        # ww/wr chains per key, across blocks (memoized across calls).
+        for earlier_tid, later_tid in self._fold_chain_edges():
+            adjacency[earlier_tid].add(later_tid)
+
+        if self._key_index is None:
+            self._key_index = SortedKeys(self._chains)
+        key_index = self._key_index
+
+        # read edges: version/snapshot comparison decides before vs after.
+        for tid in self._tids:
+            snap = self._snapshot_block.get(tid, -1)
+            reads = self._read_facts.get(tid, {})
+            for key, version in reads.items():
+                read_block = version[0] if version is not None else snap
+                self._add_read_edges(adjacency, tid, key, read_block)
+            for start, end in self._range_facts.get(tid, []):
+                # stab the chain-key directory instead of scanning it
+                for key in key_index.in_range(start, end):
+                    if key not in reads:
+                        self._add_read_edges(adjacency, tid, key, snap)
+        return adjacency
+
+    def _build_graph_naive(self) -> dict[int, set[int]]:
+        """Seed implementation: every range read scans every write chain.
+        Retained as the differential-testing reference."""
         adjacency: dict[int, set[int]] = {tid: set() for tid in self._tids}
 
         # ww/wr chains per key, across blocks (apply order is global).

@@ -48,12 +48,17 @@ class SortedKeys:
     back to a linear :func:`covers` scan in insertion order.
     """
 
-    __slots__ = ("_keys", "_sorted", "_sortable")
+    __slots__ = ("_keys", "_seen", "_sorted", "_sortable")
 
     def __init__(self, keys: Iterable[object]) -> None:
-        self._keys = list(keys)
+        # insertion-order dedup, so the linear fallback honours the
+        # de-duplicated contract too (never yields a key twice)
+        self._keys = list(dict.fromkeys(keys))
+        #: membership set for extend()'s dedup, built on first extend —
+        #: the common build-once/query-many users never pay for it
+        self._seen: set[object] | None = None
         try:
-            self._sorted = sorted(set(self._keys))
+            self._sorted = sorted(self._keys)
             self._sortable = True
         except TypeError:
             self._sorted = []
@@ -61,6 +66,35 @@ class SortedKeys:
 
     def __len__(self) -> int:
         return len(self._keys)
+
+    def extend(self, keys: Iterable[object]) -> None:
+        """Fold new keys into the index (one merge per batch).
+
+        Lets a long-lived owner (e.g. the history oracle's growing
+        write-chain directory) keep one index across additions instead of
+        rebuilding from scratch: the batch is deduplicated against the
+        existing key set and folded in with a single timsort pass
+        (O(n + b log b), not a full re-sort). An unsortable addition
+        degrades the whole index to the linear fallback, same as at
+        construction.
+        """
+        seen = self._seen
+        if seen is None:
+            seen = self._seen = set(self._keys)
+        new = [key for key in dict.fromkeys(keys) if key not in seen]
+        if not new:
+            return
+        self._keys.extend(new)
+        seen.update(new)
+        if not self._sortable:
+            return
+        sorted_keys = self._sorted
+        try:
+            sorted_keys.extend(sorted(new))
+            sorted_keys.sort()  # one merge of two sorted runs
+        except TypeError:
+            self._sorted = []
+            self._sortable = False
 
     def in_range(self, start: object, end: object) -> list[object]:
         """Keys ``k`` with ``start <= k < end`` (sorted when sortable)."""

@@ -22,6 +22,11 @@ class Checkpoint:
     prev_state: dict[object, object] | None = None
     #: protocol metadata (e.g. Harmony's committed-writer records, Rule 3)
     meta: dict | None = None
+    #: the checkpoint block's ordered writes (TOMBSTONEs included) — lets
+    #: recovery replay the block's version batch exactly instead of
+    #: diffing ``state`` against ``prev_state`` (a value diff misses keys
+    #: rewritten with an unchanged value, losing their version)
+    block_writes: list[tuple[object, object]] | None = None
 
 
 class BlockLog:
@@ -59,11 +64,12 @@ class CheckpointManager:
         state: dict[object, object],
         prev_state: dict[object, object] | None = None,
         meta: dict | None = None,
+        block_writes: list[tuple[object, object]] | None = None,
     ) -> bool:
         """Take a checkpoint if ``block_id`` hits the interval boundary."""
         if (block_id + 1) % self.interval_blocks != 0:
             return False
-        self.force_checkpoint(block_id, state, prev_state, meta)
+        self.force_checkpoint(block_id, state, prev_state, meta, block_writes)
         return True
 
     def force_checkpoint(
@@ -72,6 +78,7 @@ class CheckpointManager:
         state: dict[object, object],
         prev_state: dict[object, object] | None = None,
         meta: dict | None = None,
+        block_writes: list[tuple[object, object]] | None = None,
     ) -> None:
         self._checkpoints.append(
             Checkpoint(
@@ -79,6 +86,7 @@ class CheckpointManager:
                 copy.deepcopy(state),
                 copy.deepcopy(prev_state) if prev_state is not None else None,
                 copy.deepcopy(meta) if meta is not None else None,
+                copy.deepcopy(block_writes) if block_writes is not None else None,
             )
         )
         if len(self._checkpoints) > 2:

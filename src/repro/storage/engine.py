@@ -53,6 +53,10 @@ class StorageEngine:
         self.block_log = BlockLog()
         #: initial database state, kept for replay-from-genesis recovery
         self.genesis_state: dict[object, object] = {}
+        #: the last applied block's (id, ordered writes) — lets a
+        #: checkpoint taken right after the apply record them without
+        #: rescanning the store's version chains
+        self._last_block_writes: tuple[int, list[tuple[object, object]]] | None = None
 
     # ------------------------------------------------------------------ load
     def preload(self, items: dict[object, object]) -> None:
@@ -115,6 +119,7 @@ class StorageEngine:
             if self.wal.mode is LogMode.PHYSICAL:
                 cost += self.wal.append("write", (block_id, key))
         self.store.apply_block(block_id, ordered_writes)
+        self._last_block_writes = (block_id, ordered_writes)
         cost += self.wal.group_commit()
         return cost
 
@@ -129,11 +134,20 @@ class StorageEngine:
         if (block_id + 1) % self.checkpoints.interval_blocks != 0:
             return 0.0
         cost = self.pool.flush_all()
+        # Every executor checkpoints right after apply_block, so the
+        # block's writes are in hand; only a checkpoint of some other
+        # block (tests, manual calls) pays the store rescan.
+        last = self._last_block_writes
+        if last is not None and last[0] == block_id:
+            block_writes = last[1]
+        else:
+            block_writes = self.store.writes_in_block(block_id)
         self.checkpoints.force_checkpoint(
             block_id,
             self.store.materialize(),
             prev_state=self.store.materialize_at(block_id - 1),
             meta=meta,
+            block_writes=block_writes,
         )
         return cost
 

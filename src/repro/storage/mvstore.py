@@ -19,6 +19,10 @@ Hot-path notes:
   and walks the slice with a chain-tail fast path, falling back to the
   per-chain binary search only when the newest version is not yet visible
   at the snapshot.
+- :meth:`MVStore.materialize` / :meth:`MVStore.materialize_at` stream the
+  version chains in one pass (chain-tail fast path, no per-key
+  ``get_latest``); the per-key probe loops are retained behind
+  ``indexed=False`` as the differential reference.
 - :meth:`MVStore.state_hash` is incremental: each live ``(key, value)``
   entry contributes a 256-bit SHA digest combined into a running
   accumulator by addition mod 2²⁵⁶ (Bellare–Micciancio's AdHash — order
@@ -34,17 +38,48 @@ from bisect import bisect_left, insort
 
 
 class _Tombstone:
-    """Sentinel marking a deleted key inside a version chain."""
+    """Sentinel marking a deleted key inside a version chain.
+
+    Compared by identity everywhere, so copying must preserve the
+    singleton (checkpoints deep-copy write lists that contain it).
+    """
 
     __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return "<TOMBSTONE>"
 
+    def __copy__(self) -> "_Tombstone":
+        return self
+
+    def __deepcopy__(self, memo) -> "_Tombstone":
+        return self
+
 
 TOMBSTONE = _Tombstone()
 
 Version = tuple[int, int]
+
+
+def _visible_at(
+    chain: list[tuple[Version, object]], block_id: int
+) -> tuple[Version, object] | None:
+    """The last chain entry whose block <= ``block_id``, or ``None``.
+
+    The snapshot-visibility search, shared by everything except
+    :meth:`SnapshotView.get` — the per-read hot path keeps its own inlined
+    copy to stay free of a call frame; keep the two searches in lockstep.
+    """
+    lo, hi = 0, len(chain)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if chain[mid][0][0] <= block_id:
+            lo = mid + 1
+        else:
+            hi = mid
+    if lo == 0:
+        return None
+    return chain[lo - 1]
 
 
 def canonical(value: object) -> str:
@@ -98,6 +133,24 @@ class SnapshotView:
             return None, version
         return value, version
 
+    def get_entry(self, key: object) -> tuple[object, Version | None]:
+        """The raw visible chain entry: ``(value, version)``.
+
+        Unlike :meth:`get`, the value is *not* normalized — a TOMBSTONE
+        surfaces as-is and a stored ``None`` keeps its version, so callers
+        that must distinguish "deleted" from "a live entry whose value is
+        None" (checkpoint materialization) can. ``(None, None)`` means the
+        key has no version visible at this snapshot at all.
+        """
+        chain = self._store._versions.get(key)
+        if not chain:
+            return None, None
+        entry = _visible_at(chain, self.block_id)
+        if entry is None:
+            return None, None
+        version, value = entry
+        return value, version
+
     def scan(self, start: object, end: object):
         """Yield ``(key, value)`` for live keys with start <= key < end.
 
@@ -116,16 +169,10 @@ class SnapshotView:
             chain = versions[key]
             version, value = chain[-1]
             if version[0] > block_id:
-                if chain[0][0][0] > block_id:
+                entry = _visible_at(chain, block_id)
+                if entry is None:
                     continue  # key born after this snapshot
-                c_lo, c_hi = 0, len(chain)
-                while c_lo < c_hi:
-                    mid = (c_lo + c_hi) // 2
-                    if chain[mid][0][0] <= block_id:
-                        c_lo = mid + 1
-                    else:
-                        c_hi = mid
-                version, value = chain[c_lo - 1]
+                version, value = entry
             if value is not TOMBSTONE and value is not None:
                 yield key, value
 
@@ -316,26 +363,91 @@ class MVStore:
                 digest = (digest + _entry_digest(key, value)) % _HASH_MOD
         return f"{digest:064x}"
 
-    def materialize(self) -> dict[object, object]:
-        """The latest live state as a plain dict (checkpointing)."""
-        state: dict[object, object] = {}
-        for key in self._sorted_keys:
-            value, _version = self.get_latest(key)
-            if value is not None:
-                state[key] = value
-        return state
+    def _latest_entry(self, key: object) -> tuple[object, Version | None]:
+        """Raw newest chain entry (value may be TOMBSTONE or a live None)."""
+        chain = self._versions.get(key)
+        if not chain:
+            return None, None
+        version, value = chain[-1]
+        return value, version
 
-    def materialize_at(self, block_id: int) -> dict[object, object]:
+    def materialize(self, indexed: bool = True) -> dict[object, object]:
+        """The latest live state as a plain dict (checkpointing).
+
+        "Live" means *not deleted*: only TOMBSTONEs are dropped. A stored
+        ``None`` is a real entry — its version participates in SOV-style
+        version checks, so a checkpoint that silently dropped it would make
+        a recovered replica diverge from one that never crashed.
+        ``indexed=False`` retains the per-key probe loop as the
+        differential-testing reference.
+        """
+        if not indexed:
+            state: dict[object, object] = {}
+            for key in self._sorted_keys:
+                value, version = self._latest_entry(key)
+                if version is not None and value is not TOMBSTONE:
+                    state[key] = value
+            return state
+        # One pass over the chain tails — no per-key method dispatch.
+        versions = self._versions
+        return {
+            key: value
+            for key in self._sorted_keys
+            if (value := versions[key][-1][1]) is not TOMBSTONE
+        }
+
+    def materialize_at(self, block_id: int, indexed: bool = True) -> dict[object, object]:
         """The live state as of the end of ``block_id``.
 
         Checkpoints under inter-block parallelism must capture the previous
         block's snapshot too, because the first replayed block simulates
-        against it (snapshot lag 2).
+        against it (snapshot lag 2). Same TOMBSTONE-vs-stored-``None``
+        semantics as :meth:`materialize`.
         """
-        view = self.snapshot(block_id)
+        if not indexed:
+            view = self.snapshot(block_id)
+            state: dict[object, object] = {}
+            for key in self._sorted_keys:
+                value, version = view.get_entry(key)
+                if version is not None and value is not TOMBSTONE:
+                    state[key] = value
+            return state
+        # One-pass stream over the version chains with the same chain-tail
+        # fast path as SnapshotView.scan: the per-key binary search runs
+        # only when the newest version is not yet visible at the snapshot.
+        versions = self._versions
         state: dict[object, object] = {}
         for key in self._sorted_keys:
-            value, _version = view.get(key)
-            if value is not None:
+            chain = versions[key]
+            version, value = chain[-1]
+            if version[0] > block_id:
+                entry = _visible_at(chain, block_id)
+                if entry is None:
+                    continue  # key born after this snapshot
+                version, value = entry
+            if value is not TOMBSTONE:
                 state[key] = value
         return state
+
+    def writes_in_block(self, block_id: int) -> list[tuple[object, object]]:
+        """The writes ``block_id`` installed, in their original apply order.
+
+        TOMBSTONEs included: this is the exact ordered list the block
+        handed to :meth:`apply_block` (every version the block installed,
+        even if a caller wrote one key several times), so replaying it
+        through :meth:`apply_block` regenerates the block's version batch
+        with identical ``(block_id, seq)`` tags. Checkpoint recovery relies
+        on that exactness — a value diff of two materialized snapshots
+        cannot see a key rewritten with an unchanged value, and would leave
+        the recovered replica's version behind the one SOV-style checks
+        observe on an uncrashed replica.
+        """
+        writes: list[tuple[int, object, object]] = []
+        for key, chain in self._versions.items():
+            for version, value in reversed(chain):
+                if version[0] == block_id:
+                    writes.append((version[1], key, value))
+                elif version[0] < block_id:
+                    break
+        writes.sort(key=lambda entry: entry[0])
+        return [(key, value) for _seq, key, value in writes]

@@ -1,0 +1,171 @@
+"""Boundary regression tests for checkpoint materialization.
+
+``MVStore.materialize`` / ``materialize_at`` are the checkpoint hot paths:
+the indexed one-pass streams must be bit-identical to the retained naive
+per-key probes on every boundary — empty stores, the first blocks under
+snapshot lag 2, tombstoned keys — and must distinguish a TOMBSTONE
+(deleted) from a stored ``None`` (a live entry whose version still
+participates in version checks). A brute-force dict replay serves as the
+independent model for both.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.mvstore import MVStore, TOMBSTONE
+
+
+def _key(i: int) -> tuple:
+    return ("k", i)
+
+
+def both(store: MVStore, block_id=None):
+    """(indexed, naive) results for materialize or materialize_at."""
+    if block_id is None:
+        return store.materialize(indexed=True), store.materialize(indexed=False)
+    return (
+        store.materialize_at(block_id, indexed=True),
+        store.materialize_at(block_id, indexed=False),
+    )
+
+
+class TestBoundaries:
+    def test_empty_store(self):
+        store = MVStore()
+        assert both(store) == ({}, {})
+        for block_id in (-2, -1, 0, 3):
+            assert both(store, block_id) == ({}, {})
+
+    def test_first_blocks_under_snapshot_lag_2(self):
+        """Checkpoints capture state and prev_state; at blocks 0/1 the
+        lag-2 prev snapshot reaches back to genesis or before it."""
+        store = MVStore()
+        store.load({_key(0): "g0", _key(1): "g1"})
+        store.apply_block(0, [(_key(0), "b0"), (_key(2), "new")])
+        store.apply_block(1, [(_key(1), TOMBSTONE)])
+
+        for block_id, expected in (
+            (-2, {}),  # before genesis: nothing visible
+            (-1, {_key(0): "g0", _key(1): "g1"}),
+            (0, {_key(0): "b0", _key(1): "g1", _key(2): "new"}),
+            (1, {_key(0): "b0", _key(2): "new"}),
+        ):
+            fast, naive = both(store, block_id)
+            assert fast == naive == expected
+
+    def test_tombstoned_and_resurrected_keys(self):
+        store = MVStore()
+        store.load({_key(0): 1})
+        store.apply_block(0, [(_key(0), TOMBSTONE)])
+        store.apply_block(1, [(_key(0), 2)])
+        store.apply_block(2, [(_key(0), TOMBSTONE)])
+        expectations = {-1: {_key(0): 1}, 0: {}, 1: {_key(0): 2}, 2: {}}
+        for block_id, expected in expectations.items():
+            fast, naive = both(store, block_id)
+            assert fast == naive == expected
+        assert store.materialize() == {}
+
+    def test_writes_in_block_round_trips_repeated_key_writes(self):
+        """apply_block accepts several writes to one key in a block;
+        writes_in_block must return every installed version (in seq
+        order) so a checkpoint replay regenerates identical version
+        tags, not just the last write per key."""
+        store = MVStore()
+        writes = [(_key(0), 1), (_key(1), 2), (_key(0), 3), (_key(1), TOMBSTONE)]
+        store.apply_block(0, writes)
+        assert store.writes_in_block(0) == writes
+
+        replayed = MVStore()
+        replayed.apply_block(0, store.writes_in_block(0))
+        assert replayed._versions == store._versions
+
+    def test_materialize_at_latest_equals_materialize(self):
+        store = MVStore()
+        store.load({_key(i): i for i in range(8)})
+        for block_id in range(3):
+            store.apply_block(
+                block_id, [(_key(block_id), 100 + block_id), (_key(7), TOMBSTONE)]
+            )
+        latest = store.last_committed_block
+        fast, naive = both(store, latest)
+        assert fast == naive == store.materialize() == store.materialize(indexed=False)
+
+
+class TestFalsyButLive:
+    """The latent bug the boundaries surfaced: a live entry whose value is
+    ``None`` was conflated with a deletion and dropped from checkpoints,
+    losing the version a recovered replica's version checks rely on."""
+
+    def test_stored_none_is_preserved(self):
+        store = MVStore()
+        store.load({_key(0): 5})
+        store.apply_block(0, [(_key(0), None), (_key(1), None)])
+        fast, naive = both(store)
+        assert fast == naive == {_key(0): None, _key(1): None}
+        # ... while a TOMBSTONE is a real deletion:
+        store.apply_block(1, [(_key(1), TOMBSTONE)])
+        assert store.materialize() == {_key(0): None}
+
+    def test_falsy_values_survive(self):
+        store = MVStore()
+        store.load({_key(0): 0, _key(1): "", _key(2): {}, _key(3): None})
+        fast, naive = both(store)
+        assert fast == naive == {_key(0): 0, _key(1): "", _key(2): {}, _key(3): None}
+
+    def test_checkpoint_roundtrip_keeps_the_version(self):
+        """Reloading a checkpoint that contains a stored ``None`` recreates
+        a versioned entry — readers still see "absent", but the version
+        exists, exactly like on a replica that never crashed."""
+        store = MVStore()
+        store.load({_key(0): 5})
+        store.apply_block(0, [(_key(0), None)])
+
+        restored = MVStore()
+        restored.load(store.materialize())
+        value, version = restored.get_latest(_key(0))
+        assert value is None and version is not None
+        # readers keep treating it as absent
+        assert _key(0) not in restored
+        assert restored.keys() == []
+        assert restored.state_hash() == restored.state_hash_full()
+
+
+class TestMaterializeDifferential:
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, 20), st.integers(-2, 50)),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_naive_and_dict_replay(self, blocks):
+        """-2 encodes a TOMBSTONE, -1 a stored None, >= 0 a plain value."""
+
+        def decode(value):
+            return TOMBSTONE if value == -2 else (None if value == -1 else value)
+
+        store = MVStore()
+        genesis = {_key(i): i for i in range(0, 20, 3)}
+        store.load(genesis)
+        model = dict(genesis)  # independent reference: plain dict replay
+        models = {-1: dict(model)}
+        for block_id, writes in enumerate(blocks):
+            ordered = [(_key(i), decode(v)) for i, v in writes]
+            store.apply_block(block_id, ordered)
+            for key, value in ordered:
+                if value is TOMBSTONE:
+                    model.pop(key, None)
+                else:
+                    model[key] = value
+            models[block_id] = dict(model)
+
+        assert store.materialize() == store.materialize(indexed=False) == model
+        for block_id, expected in models.items():
+            fast, naive = both(store, block_id)
+            assert fast == naive == expected

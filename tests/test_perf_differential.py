@@ -17,8 +17,10 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core.dependencies import BlockDependencyIndex
+from repro.core.reordering import KeyApply, apply_write_sets, derive_reservation
 from repro.core.validation import HarmonyValidator
 from repro.dcc.aria import AriaExecutor
+from repro.dcc.oracle import HistoryOracle
 from repro.execution import OverlayView
 from repro.intervals import RangeIndex, SortedKeys, covers
 from repro.storage.mvstore import MVStore, TOMBSTONE
@@ -126,6 +128,160 @@ class TestValidation:
         fast = HarmonyValidator.records_for(txns, indexed=True)
         assert naive.reachable == fast.reachable
         assert naive.writers.keys() == fast.writers.keys()
+
+
+@st.composite
+def oracle_history(draw):
+    """A randomized multi-block committed history for the history oracle:
+    point reads carrying observed versions, range reads, per-key apply
+    chains and a mix of committed/aborted transactions."""
+    num_blocks = draw(st.integers(min_value=1, max_value=4))
+    blocks = []
+    tid = 0
+    for block_id in range(num_blocks):
+        n = draw(st.integers(min_value=1, max_value=6))
+        txns = []
+        for _ in range(n):
+            txn = Txn(tid=tid, block_id=block_id, spec=TxnSpec("ops"))
+            tid += 1
+            for i in draw(
+                st.lists(st.integers(0, NUM_KEYS - 1), max_size=3, unique=True)
+            ):
+                version = draw(
+                    st.one_of(
+                        st.none(),
+                        st.tuples(st.integers(-1, block_id), st.integers(0, 2)),
+                    )
+                )
+                txn.read_set[_key(i)] = version
+            for _ in range(draw(st.integers(0, 2))):
+                start = draw(st.integers(0, NUM_KEYS - 1))
+                span = draw(st.integers(0, NUM_KEYS // 2))
+                txn.read_ranges.append((_key(start), _key(start + span)))
+            for i in draw(
+                st.lists(st.integers(0, NUM_KEYS - 1), max_size=3, unique=True)
+            ):
+                txn.record_update(_key(i), AddValue(1))
+            if draw(st.booleans()):
+                txn.mark_committed()
+            else:
+                from repro.txn.transaction import AbortReason
+
+                txn.mark_aborted(AbortReason.WAW)
+            txns.append(txn)
+        chains: dict = {}
+        for txn in txns:  # apply chains in block (TID) order
+            for key in txn.write_set:
+                chains.setdefault(key, []).append(txn.tid)
+        applies = [
+            KeyApply(key=key, updater_tids=tids, handler_tid=tids[0])
+            for key, tids in chains.items()
+        ]
+        snap = block_id - draw(st.integers(1, 2))
+        blocks.append((block_id, txns, applies, snap))
+    return blocks
+
+
+class TestHistoryOracleDifferential:
+    @given(oracle_history())
+    @settings(max_examples=150, deadline=None)
+    def test_build_graph_identical(self, blocks):
+        naive = HistoryOracle(indexed=False)
+        fast = HistoryOracle(indexed=True)
+        for block_id, txns, applies, snap in blocks:
+            for oracle in (naive, fast):
+                oracle.record_block(block_id, txns, applies, snapshot_block_id=snap)
+        assert naive.build_graph() == fast.build_graph()
+        assert naive.is_serializable() == fast.is_serializable()
+
+    @given(oracle_history())
+    @settings(max_examples=100, deadline=None)
+    def test_incremental_checks_match_one_shot(self, blocks):
+        """Checking after every block (the memoized usage pattern) must give
+        the same verdicts as a naive oracle rebuilt from scratch each time."""
+        naive = HistoryOracle(indexed=False)
+        fast = HistoryOracle(indexed=True)
+        for block_id, txns, applies, snap in blocks:
+            for oracle in (naive, fast):
+                oracle.record_block(block_id, txns, applies, snapshot_block_id=snap)
+            assert naive.build_graph() == fast.build_graph()
+            assert naive.is_serializable() == fast.is_serializable()
+        # a repeated fully-memoized call is idempotent
+        assert fast.build_graph() == fast.build_graph()
+
+    def test_heterogeneous_chain_keys_fall_back(self):
+        """Unsortable chain-key populations degrade to the linear scan."""
+        reader = Txn(tid=0, block_id=1, spec=TxnSpec("ops"))
+        reader.read_ranges.append((0, 10))
+        reader.mark_committed()
+        writers = []
+        for tid, key in ((1, 5), (2, "s"), (3, (9, 9))):
+            txn = Txn(tid=tid, block_id=0, spec=TxnSpec("ops"))
+            txn.record_update(key, AddValue(1))
+            txn.mark_committed()
+            writers.append(txn)
+        applies = [
+            KeyApply(key=key, updater_tids=[tid], handler_tid=tid)
+            for tid, key in ((1, 5), (2, "s"), (3, (9, 9)))
+        ]
+        naive = HistoryOracle(indexed=False)
+        fast = HistoryOracle(indexed=True)
+        for oracle in (naive, fast):
+            oracle.record_block(0, writers, applies, snapshot_block_id=-1)
+            oracle.record_block(1, [reader], [], snapshot_block_id=0)
+        graph = fast.build_graph()
+        assert graph == naive.build_graph()
+        # the range read stabbed the int key's chain: its block-0 write is
+        # visible at the reader's snapshot, a wr edge writer -> reader
+        assert 0 in graph[1]
+
+
+class TestReorderReuse:
+    @given(txn_block(), st.booleans(), st.booleans())
+    @settings(max_examples=150, deadline=None)
+    def test_apply_write_sets_identical(self, txns, inter_block, do_coalesce):
+        validator = HarmonyValidator(inter_block=inter_block)
+        stats = validator.validate(txns)
+        base = {_key(i): i * 10 for i in range(NUM_KEYS)}
+
+        def run(dep_index):
+            return apply_write_sets(
+                txns,
+                read_base=lambda key: base.get(key),
+                write_cost=lambda key: 1.0,
+                do_coalesce=do_coalesce,
+                dep_index=dep_index,
+            )
+
+        naive, reuse = run(None), run(stats.dep_index)
+        assert derive_reservation(txns, None) == derive_reservation(
+            txns, stats.dep_index
+        )
+        # an index built without collect_writer_txns lazily derives the
+        # same chains on first use
+        lazy_index = BlockDependencyIndex(txns)
+        assert derive_reservation(txns, None) == derive_reservation(
+            txns, lazy_index
+        )
+        assert naive.ordered_writes == reuse.ordered_writes
+        assert naive.key_applies == reuse.key_applies
+        assert naive.txn_commit_cpu_us == reuse.txn_commit_cpu_us
+
+    @given(txn_block(max_txns=8), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_reservation_identical_at_any_abort_rate(self, txns, data):
+        """The adaptive strategies (share / subtract / rebuild) must agree
+        with the naive derivation whatever fraction of the block aborted."""
+        from repro.txn.transaction import AbortReason
+
+        doomed = data.draw(
+            st.lists(st.sampled_from([t.tid for t in txns]), unique=True)
+        )
+        index = BlockDependencyIndex(txns)
+        for txn in txns:
+            if txn.tid in doomed:
+                txn.mark_aborted(AbortReason.WAW)
+        assert derive_reservation(txns, None) == derive_reservation(txns, index)
 
 
 def _ops_strategy():
@@ -287,6 +443,16 @@ class TestIntervalPrimitives:
         assert list(index.stab("m")) == ["strs"]
         keys = SortedKeys([1, "b", 3])
         assert set(keys.in_range(0, 5)) == {1, 3}
+
+    def test_extend_deduplicates_on_both_paths(self):
+        """Re-adding known keys never yields duplicate slice hits, even
+        after an unsortable addition degrades to the linear fallback."""
+        keys = SortedKeys([1, 2])
+        keys.extend([2, 3, 3])
+        assert keys.in_range(0, 5) == [1, 2, 3]
+        keys.extend(["b", 2])  # degrade to linear fallback
+        assert keys.in_range(0, 5) == [1, 2, 3]
+        assert set(keys.in_range("a", "z")) == {"b"}
 
     def test_inverted_and_empty_ranges_cover_nothing(self):
         index = RangeIndex([(5, 5, "empty"), (9, 2, "inverted"), (0, 3, "ok")])

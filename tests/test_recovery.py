@@ -15,6 +15,27 @@ def spec(ops) -> TxnSpec:
     return TxnSpec("ops", (("ops", tuple(ops)),))
 
 
+def sov_block(engine, ordering, block_id, ops_lists):
+    """Form a Fabric-style endorsed block: freeze read versions against the
+    replica's latest snapshot and evaluate commands into value writes."""
+    from repro.dcc.fabric import endorsed_value_writes
+    from repro.txn.context import SimulationContext
+    from repro.txn.transaction import Txn
+
+    block = ordering.form_block([spec(ops) for ops in ops_lists])
+    txns = [
+        Txn(tid=block.first_tid + i, block_id=block_id, spec=s)
+        for i, s in enumerate(block.specs)
+    ]
+    snapshot = engine.store.latest_snapshot()
+    registry = generic_registry()
+    for txn in txns:
+        txn.output = registry.execute(SimulationContext(txn, snapshot, engine))
+        endorsed_value_writes(txn, snapshot)
+    block.endorsed_txns = txns
+    return block
+
+
 def build_node(checkpoint_interval=3, inter_block=False) -> ReplicaNode:
     engine = make_engine()
     engine.checkpoints.interval_blocks = checkpoint_interval
@@ -85,6 +106,77 @@ class TestRecovery:
         recovered = recover_node(node)
         assert recovered.ledger.verify_chain()
         assert recovered.ledger.height == node.ledger.height
+
+    def test_key_born_with_stored_none_survives_recovery(self):
+        """A key whose first value is a stored ``None`` (a Fabric-style
+        evaluated no-op write) lands in the checkpoint but equals the
+        ``dict.get`` default — the delta fast-forward must use membership,
+        not ``.get``, or the recovered replica silently loses the version
+        an uncrashed replica's version checks still see."""
+        from repro.dcc.fabric import FabricValidator
+
+        engine = make_engine()
+        engine.checkpoints.interval_blocks = 2
+        node = ReplicaNode("r0", FabricValidator(engine, generic_registry()), None)
+        ordering = OrderingService()
+
+        node.process_block(sov_block(engine, ordering, 0, [[("set", 1, 5)]]))
+        # block 1 (the checkpoint block): AddValue on an absent key
+        # evaluates to a stored None — a live, versioned entry
+        node.process_block(sov_block(engine, ordering, 1, [[("add", 99, 1)]]))
+        born_none = ("k", 99)
+        value, version = engine.store.get_latest(born_none)
+        assert value is None and version is not None
+        assert engine.checkpoints.latest().block_id == 1
+
+        recovered = recover_node(node)
+        rec_value, rec_version = recovered.engine.store.get_latest(born_none)
+        assert rec_value is None and rec_version is not None
+        assert recovered.state_hash() == node.state_hash()
+
+        # legacy checkpoints (no recorded block writes) take the
+        # state-diff fallback, whose membership test must still keep the
+        # stored-None key's version
+        engine.checkpoints.latest().block_writes = None
+        legacy = recover_node(node)
+        _, legacy_version = legacy.engine.store.get_latest(born_none)
+        assert legacy_version is not None
+        assert legacy.state_hash() == node.state_hash()
+
+    def test_same_value_rewrite_in_checkpoint_block_keeps_its_version(self):
+        """A key rewritten in the checkpoint block with an unchanged value
+        is invisible to a state *diff* (state == prev_state for it), so
+        recovery must replay the block's recorded writes verbatim — or the
+        recovered replica keeps the older version, and a transaction
+        endorsed against the newer one passes SOV validation everywhere
+        except on the recovered replica, diverging the replicas."""
+        from repro.dcc.fabric import FabricValidator
+
+        engine = make_engine()
+        engine.checkpoints.interval_blocks = 2
+        node = ReplicaNode("r0", FabricValidator(engine, generic_registry()), None)
+        ordering = OrderingService()
+
+        node.process_block(sov_block(engine, ordering, 0, [[("set", 1, 5)]]))
+        # block 1 (the checkpoint block) rewrites the key with its
+        # current value: the version advances, the value does not
+        node.process_block(sov_block(engine, ordering, 1, [[("set", 1, 5)]]))
+        key = ("k", 1)
+        _, version = engine.store.get_latest(key)
+        assert version is not None and version[0] == 1
+        assert engine.checkpoints.latest().block_id == 1
+
+        recovered = recover_node(node)
+        assert recovered.engine.store.get_latest(key)[1] == version
+        assert recovered.state_hash() == node.state_hash()
+
+        # a read endorsed against the post-checkpoint version must commit
+        # on both replicas (no stale-read abort on the recovered one)
+        block = sov_block(engine, ordering, 2, [[("r", 1), ("set", 1, 6)]])
+        node.process_block(block)
+        recovered.process_block(block)
+        assert all(t.committed for t in block.endorsed_txns)
+        assert recovered.state_hash() == node.state_hash()
 
     def test_logical_log_smaller_than_physical(self):
         """Section 2.4: deterministic replay needs only input blocks."""

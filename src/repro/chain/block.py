@@ -34,14 +34,30 @@ class Block:
     #: orderer's signature over the header
     signature: str = ""
     hash: str = ""
+    #: explicit global TIDs, one per spec — set on per-shard sub-blocks,
+    #: whose transactions keep their *global* order position even though
+    #: the shard sees only a subset (``None`` = contiguous from first_tid)
+    tids: tuple | None = None
 
     def __post_init__(self) -> None:
+        if self.tids is not None and len(self.tids) != len(self.specs):
+            raise ValueError(
+                f"block {self.block_id}: {len(self.tids)} tids "
+                f"for {len(self.specs)} specs"
+            )
         if not self.hash:
             self.hash = self.compute_hash()
 
     def header_bytes(self) -> bytes:
         body = ";".join(_canonical_spec(s) for s in self.specs)
-        return f"{self.block_id}|{self.first_tid}|{self.prev_hash}|{body}".encode()
+        header = f"{self.block_id}|{self.first_tid}|{self.prev_hash}|{body}"
+        if self.tids is not None:
+            # sub-blocks commit to their global TID assignment too
+            header += "|" + ",".join(str(t) for t in self.tids)
+        return header.encode()
+
+    def tid_of(self, index: int) -> int:
+        return self.tids[index] if self.tids is not None else self.first_tid + index
 
     def compute_hash(self) -> str:
         return sha256_hex(self.header_bytes())

@@ -12,7 +12,7 @@ from __future__ import annotations
 from repro.chain.block import Block
 from repro.chain.ledger import Ledger
 from repro.consensus.crypto import Signer
-from repro.execution import BlockExecution, DCCExecutor
+from repro.execution import BlockExecution, DCCExecutor, PreparedBlock
 from repro.txn.transaction import Txn
 
 
@@ -31,8 +31,8 @@ class ReplicaNode:
         self.ledger = Ledger()
         self._orderer_signer = orderer_signer
 
-    def process_block(self, block: Block) -> BlockExecution:
-        """Verify, log, execute and append one block."""
+    def _ingest_block(self, block: Block) -> tuple[list[Txn], float]:
+        """Verify, append and log one block; instantiate its transactions."""
         verify_cost = self.engine.costs.hash_us
         if self._orderer_signer is not None:
             if not self._orderer_signer.verify(block.header_bytes(), block.signature):
@@ -46,11 +46,33 @@ class ReplicaNode:
             txns = block.endorsed_txns  # SOV: rw-sets travel with the block
         else:
             txns = [
-                Txn(tid=block.first_tid + i, block_id=block.block_id, spec=spec)
+                Txn(tid=block.tid_of(i), block_id=block.block_id, spec=spec)
                 for i, spec in enumerate(block.specs)
             ]
+        return txns, verify_cost
+
+    def process_block(self, block: Block) -> BlockExecution:
+        """Verify, log, execute and append one block."""
+        if self.executor.supports_two_phase:
+            return self.finish_block(self.prepare_block(block))
+        txns, verify_cost = self._ingest_block(block)
         execution = self.executor.execute_block(block.block_id, txns)
         execution.pre_exec_serial_us += verify_cost
+        return execution
+
+    def prepare_block(self, block: Block) -> PreparedBlock:
+        """Phase one: verify + log + simulate + validate (the local vote)."""
+        txns, verify_cost = self._ingest_block(block)
+        prepared = self.executor.prepare_block(block.block_id, txns)
+        prepared.extra_pre_exec_us += verify_cost
+        return prepared
+
+    def finish_block(
+        self, prepared: PreparedBlock, abort_tids: frozenset = frozenset()
+    ) -> BlockExecution:
+        """Phase two: apply, honouring cross-shard vetos in ``abort_tids``."""
+        execution = self.executor.commit_block(prepared, abort_tids)
+        execution.pre_exec_serial_us += prepared.extra_pre_exec_us
         return execution
 
     def state_hash(self) -> str:

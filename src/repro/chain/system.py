@@ -40,6 +40,25 @@ from repro.storage.wal import LogMode
 COMMAND_BYTES = 128
 
 
+def decision_digest(per_block_txns) -> str:
+    """A digest of every block's commit/abort decisions.
+
+    ``per_block_txns`` yields ``(block_id, txns)`` in block order. The
+    digest is a pure function of the decision layer (TIDs and statuses,
+    never timings), so two runs are decision-identical iff their digests
+    match — the contract the sharded pipeline's single-shard configuration
+    is held to against :class:`OEBlockchain`.
+    """
+    from repro.consensus.crypto import sha256_hex
+
+    parts = []
+    for block_id, txns in per_block_txns:
+        committed = ",".join(str(t.tid) for t in txns if t.committed)
+        aborted = ",".join(str(t.tid) for t in txns if t.aborted)
+        parts.append(f"{block_id}:{committed}|{aborted}")
+    return sha256_hex(";".join(parts).encode())
+
+
 @dataclass
 class OEConfig:
     """Configuration of one Order-Execute system run."""
@@ -61,6 +80,31 @@ class OEConfig:
     #: clients resubmit aborted transactions; retries consume block slots,
     #: so high-abort protocols pay for their aborts in throughput
     retry_aborted: bool = True
+
+
+def append_block_latencies(
+    metrics: RunMetrics,
+    commit_finish_us: list[float],
+    interval_us: float,
+    consensus_latency_us: float,
+    reply_us: float,
+    per_block_committed: list[int],
+) -> None:
+    """Record per-block service latency for every committed transaction.
+
+    Backlog excluded: what a client observes at sustainable load —
+    consensus, execution from the moment the replica could start the
+    block, and the reply hop. Shared by the unsharded and sharded runs so
+    their latency models can never drift apart.
+    """
+    for i, committed in enumerate(per_block_committed):
+        started = i * interval_us
+        if i > 0:
+            started = max(started, commit_finish_us[i - 1])
+        block_latency = (
+            consensus_latency_us + (commit_finish_us[i] - started) + reply_us
+        )
+        metrics.latencies_us.extend([block_latency] * committed)
 
 
 def build_executor(config: OEConfig, engine: StorageEngine, registry):
@@ -170,19 +214,14 @@ class OEBlockchain:
 
         metrics.sim_time_us = result.makespan_us
         metrics.cpu_utilization = result.cpu_utilization
-        for i, execution in enumerate(executions):
-            # Per-block service latency (backlog excluded): what a client
-            # observes at sustainable load — consensus, execution from the
-            # moment the replica could start this block, and the reply hop.
-            started = timings[i].arrival_us
-            if i > 0:
-                started = max(started, result.commit_finish_us[i - 1])
-            block_latency = (
-                consensus_latency
-                + (result.commit_finish_us[i] - started)
-                + self.network.worst_one_way_us(config.num_replicas)
-            )
-            metrics.latencies_us.extend([block_latency] * execution.stats.committed)
+        append_block_latencies(
+            metrics,
+            result.commit_finish_us,
+            interval,
+            consensus_latency,
+            self.network.worst_one_way_us(config.num_replicas),
+            [e.stats.committed for e in executions],
+        )
         engine = self.node.engine
         metrics.io_reads = engine.io_reads
         metrics.io_writes = engine.io_writes
@@ -190,6 +229,9 @@ class OEBlockchain:
         metrics.buffer_misses = engine.buffer_misses
         metrics.extra["state_hash"] = self.node.state_hash()
         metrics.extra["ledger_ok"] = self.node.ledger.verify_chain()
+        metrics.extra["decision_digest"] = decision_digest(
+            (e.block_id, e.txns) for e in executions
+        )
         return metrics
 
     def _consensus_latency_us(self) -> float:

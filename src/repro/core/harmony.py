@@ -19,7 +19,12 @@ from dataclasses import dataclass
 
 from repro.core.reordering import apply_write_sets
 from repro.core.validation import HarmonyValidator, PrevBlockRecords
-from repro.execution import BlockExecution, DCCExecutor, simulate_transactions
+from repro.execution import (
+    BlockExecution,
+    DCCExecutor,
+    PreparedBlock,
+    simulate_transactions,
+)
 from repro.storage.engine import StorageEngine
 from repro.txn.procedures import ProcedureRegistry
 from repro.txn.transaction import Txn
@@ -54,6 +59,7 @@ class HarmonyExecutor(DCCExecutor):
 
     name = "harmony"
     parallel_commit = True
+    supports_two_phase = True
 
     def __init__(
         self,
@@ -70,7 +76,9 @@ class HarmonyExecutor(DCCExecutor):
         #: committed reader/writer facts of the previous block (Rule 3)
         self._prev_records = PrevBlockRecords()
 
-    def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
+    def prepare_block(self, block_id: int, txns: list[Txn]) -> PreparedBlock:
+        """Simulate and validate (Rules 1/3); the result is this replica's
+        commit/abort vote — nothing is installed yet."""
         snapshot = self.snapshot_for(block_id, lag=self.config.effective_lag)
         sim_durations = simulate_transactions(txns, snapshot, self.registry, self.engine)
 
@@ -78,6 +86,19 @@ class HarmonyExecutor(DCCExecutor):
             txns,
             self._prev_records if self.config.inter_block else None,
         )
+        return PreparedBlock(
+            block_id=block_id,
+            txns=txns,
+            sim_durations_us=sim_durations,
+            snapshot_block_id=block_id - self.config.effective_lag,
+            payload=vstats,
+        )
+
+    def commit_block(
+        self, prepared: PreparedBlock, abort_tids: frozenset = frozenset()
+    ) -> BlockExecution:
+        block_id, txns, vstats = prepared.block_id, prepared.txns, prepared.payload
+        self.force_aborts(txns, abort_tids)
 
         reorder = apply_write_sets(
             txns,
@@ -86,6 +107,7 @@ class HarmonyExecutor(DCCExecutor):
             op_cpu_us=self.engine.costs.op_cpu_us,
             do_coalesce=self.config.coalesce,
             dep_index=vstats.dep_index,
+            key_scope=self.key_scope,
         )
 
         self._prev_records = HarmonyValidator.records_for(txns)
@@ -103,13 +125,13 @@ class HarmonyExecutor(DCCExecutor):
         return BlockExecution(
             block_id=block_id,
             txns=txns,
-            sim_durations_us=sim_durations,
+            sim_durations_us=prepared.sim_durations_us,
             commit_durations_us=commit_durations,
             serial_commit=False,
             post_commit_serial_us=tail_us,
             stats=stats,
             key_applies=reorder.key_applies,
-            snapshot_block_id=block_id - self.config.effective_lag,
+            snapshot_block_id=prepared.snapshot_block_id,
         )
 
     def restore_records(self, records: PrevBlockRecords) -> None:

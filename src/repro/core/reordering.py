@@ -103,6 +103,7 @@ def apply_write_sets(
     op_cpu_us: float = 1.0,
     do_coalesce: bool = True,
     dep_index=None,
+    key_scope=None,
 ) -> ReorderingResult:
     """Evaluate surviving transactions' update commands (Algorithm 2).
 
@@ -118,6 +119,11 @@ def apply_write_sets(
     scratch. ``dep_index=None`` retains the seed's rebuild as the
     differential-testing reference; both paths are bit-identical.
 
+    ``key_scope`` (sharded deployments) restricts the physical apply to
+    locally-owned keys: a cross-shard transaction's remote writes are
+    validated here as reservations but installed by the shard that owns
+    them (it runs the same commit step with the complementary scope).
+
     Returns the ordered writes to install plus the commit step's task
     durations for the scheduler.
     """
@@ -125,6 +131,10 @@ def apply_write_sets(
 
     # update_reservation: key -> updater txns, in TID order (deterministic).
     reservation = derive_reservation(txns, dep_index)
+    if key_scope is not None:
+        reservation = {
+            key: updaters for key, updaters in reservation.items() if key_scope(key)
+        }
 
     for txn in txns:
         if not txn.aborted:

@@ -20,7 +20,12 @@ ww contention that Harmony's update reordering removes.
 
 from __future__ import annotations
 
-from repro.execution import BlockExecution, DCCExecutor, simulate_transactions
+from repro.execution import (
+    BlockExecution,
+    DCCExecutor,
+    PreparedBlock,
+    simulate_transactions,
+)
 from repro.intervals import SortedKeys
 from repro.storage.engine import StorageEngine
 from repro.txn.commands import apply_safely
@@ -33,6 +38,7 @@ class AriaExecutor(DCCExecutor):
 
     name = "aria"
     parallel_commit = True
+    supports_two_phase = True
 
     def __init__(
         self,
@@ -48,8 +54,11 @@ class AriaExecutor(DCCExecutor):
         #: testing / benchmarking).
         self.indexed = indexed
 
-    def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
-        snapshot = self.engine.snapshot(block_id - 1)
+    def prepare_block(self, block_id: int, txns: list[Txn]) -> PreparedBlock:
+        """Simulate, reserve and decide — Aria's whole validation phase is
+        reservation-table lookups, so the local vote falls out here; writes
+        are deferred to :meth:`commit_block`."""
+        snapshot = self.snapshot_for(block_id, lag=1)
         sim_durations = simulate_transactions(txns, snapshot, self.registry, self.engine)
 
         write_reservations: dict[object, int] = {}
@@ -104,16 +113,36 @@ class AriaExecutor(DCCExecutor):
             elif raw:
                 txn.mark_aborted(AbortReason.RAW)
                 continue
-            txn.mark_committed()
             committed.append(txn)
 
+        return PreparedBlock(
+            block_id=block_id,
+            txns=txns,
+            sim_durations_us=sim_durations,
+            snapshot_block_id=block_id - 1,
+            payload=(snapshot, committed),
+        )
+
+    def commit_block(
+        self, prepared: PreparedBlock, abort_tids: frozenset = frozenset()
+    ) -> BlockExecution:
+        block_id, txns = prepared.block_id, prepared.txns
+        snapshot, survivors = prepared.payload
+        self.force_aborts(txns, abort_tids)
+
         # Parallel commit: disjoint write sets, values evaluated against the
-        # block snapshot (Aria ships values, not commands).
+        # block snapshot (Aria ships values, not commands). Only locally
+        # owned keys are installed (``in_scope`` is all keys unsharded).
         commit_durations: list[float] = []
         ordered_writes: list[tuple[object, object]] = []
-        for txn in committed:
+        for txn in survivors:
+            if txn.aborted:  # cross-shard veto arrived after the local vote
+                continue
+            txn.mark_committed()
             cost = self.engine.costs.op_cpu_us
             for key in txn.updated_keys:
+                if not self.in_scope(key):
+                    continue
                 base, _version = snapshot.get(key)
                 ordered_writes.append((key, apply_safely(txn.write_set[key], base)))
                 cost += self.engine.write_cost(key)
@@ -127,7 +156,7 @@ class AriaExecutor(DCCExecutor):
         return BlockExecution(
             block_id=block_id,
             txns=txns,
-            sim_durations_us=sim_durations,
+            sim_durations_us=prepared.sim_durations_us,
             commit_durations_us=commit_durations,
             serial_commit=False,
             post_commit_serial_us=tail,

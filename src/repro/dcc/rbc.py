@@ -19,7 +19,13 @@ caps commit-step parallelism — RBC's optimal block size is small
 from __future__ import annotations
 
 from repro.core.dependencies import BlockDependencyIndex
-from repro.execution import BlockExecution, DCCExecutor, OverlayView, simulate_transactions
+from repro.execution import (
+    BlockExecution,
+    DCCExecutor,
+    OverlayView,
+    PreparedBlock,
+    simulate_transactions,
+)
 from repro.txn.commands import apply_safely
 from repro.txn.transaction import AbortReason, Txn
 
@@ -29,9 +35,14 @@ class RBCExecutor(DCCExecutor):
 
     name = "rbc"
     parallel_commit = False
+    supports_two_phase = True
 
-    def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
-        snapshot = self.engine.snapshot(block_id - 1)
+    def prepare_block(self, block_id: int, txns: list[Txn]) -> PreparedBlock:
+        """Simulate, then run the serial validation pass (first-committer-
+        wins + SSI pivot) to a local vote; physical writes wait for
+        :meth:`commit_block`. All reads came from the pre-block snapshot, so
+        deferring the writes cannot change any decision."""
+        snapshot = self.snapshot_for(block_id, lag=1)
         sim_durations = simulate_transactions(txns, snapshot, self.registry, self.engine)
 
         index = BlockDependencyIndex(txns)
@@ -41,31 +52,52 @@ class RBCExecutor(DCCExecutor):
             has_out_rw.add(edge.reader_tid)  # reader rw-points at writer
             has_in_rw.add(edge.writer_tid)
 
-        overlay = OverlayView(snapshot, block_id)
         committed_writes: dict[object, int] = {}
-        commit_durations: list[float] = []
+        validation_costs: list[float] = []
         for txn in sorted(txns, key=lambda t: t.tid):
-            validation_cost = self.engine.costs.op_cpu_us * (
-                1 + len(txn.read_set) + len(txn.write_set)
+            validation_costs.append(
+                self.engine.costs.op_cpu_us * (1 + len(txn.read_set) + len(txn.write_set))
             )
             if txn.aborted:
-                commit_durations.append(validation_cost)
                 continue
             ww = any(key in committed_writes for key in txn.write_set)
             if ww:
                 txn.mark_aborted(AbortReason.WAW)
-                commit_durations.append(validation_cost)
                 continue
             if txn.tid in has_in_rw and txn.tid in has_out_rw:
                 txn.mark_aborted(AbortReason.SSI_DANGEROUS_STRUCTURE)
-                commit_durations.append(validation_cost)
+                continue
+            for key in txn.write_set:
+                committed_writes[key] = txn.tid
+
+        return PreparedBlock(
+            block_id=block_id,
+            txns=txns,
+            sim_durations_us=sim_durations,
+            snapshot_block_id=block_id - 1,
+            payload=(snapshot, validation_costs),
+        )
+
+    def commit_block(
+        self, prepared: PreparedBlock, abort_tids: frozenset = frozenset()
+    ) -> BlockExecution:
+        block_id, txns = prepared.block_id, prepared.txns
+        snapshot, validation_costs = prepared.payload
+        self.force_aborts(txns, abort_tids)
+
+        overlay = OverlayView(snapshot, block_id)
+        commit_durations: list[float] = []
+        for i, txn in enumerate(sorted(txns, key=lambda t: t.tid)):
+            if txn.aborted:
+                commit_durations.append(validation_costs[i])
                 continue
             txn.mark_committed()
-            cost = validation_cost
+            cost = validation_costs[i]
             for key in txn.updated_keys:
+                if not self.in_scope(key):
+                    continue
                 base, _version = snapshot.get(key)
                 overlay.put(key, apply_safely(txn.write_set[key], base))
-                committed_writes[key] = txn.tid
                 cost += self.engine.write_cost(key)
             txn.commit_cost_us = cost
             commit_durations.append(cost)
@@ -76,7 +108,7 @@ class RBCExecutor(DCCExecutor):
         return BlockExecution(
             block_id=block_id,
             txns=txns,
-            sim_durations_us=sim_durations,
+            sim_durations_us=prepared.sim_durations_us,
             commit_durations_us=commit_durations,
             serial_commit=True,
             post_commit_serial_us=tail,

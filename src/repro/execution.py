@@ -28,6 +28,31 @@ from repro.txn.transaction import AbortReason, Txn
 
 
 @dataclass
+class PreparedBlock:
+    """Decision state carried from an executor's prepare phase to its commit.
+
+    The two-phase split exists for the sharded pipeline: a shard *prepares*
+    a block (simulate + validate — its local 2PC vote) and only *commits*
+    after the cross-shard decision round, which may force additional aborts
+    (``abort_tids`` of :meth:`DCCExecutor.commit_block`). For an unsharded
+    run ``execute_block`` is exactly ``commit_block(prepare_block(...))``
+    with no forced aborts, so decisions are bit-identical to the historical
+    single-call path.
+    """
+
+    block_id: int
+    txns: list[Txn]
+    #: per-transaction simulation-step durations (us), in block order
+    sim_durations_us: list[float] = field(default_factory=list)
+    #: snapshot the block simulated against (block id)
+    snapshot_block_id: int | None = None
+    #: serial critical-path cost accrued before simulation (block verify)
+    extra_pre_exec_us: float = 0.0
+    #: executor-specific state threaded from prepare to commit
+    payload: object = None
+
+
+@dataclass
 class BlockExecution:
     """Everything a system layer needs to know about one executed block."""
 
@@ -161,18 +186,52 @@ class DCCExecutor:
 
     name = "abstract"
     parallel_commit = True
+    #: True when the executor implements the prepare/commit split the
+    #: sharded pipeline drives (SOV validators keep the one-shot path)
+    supports_two_phase = False
 
     def __init__(self, engine: StorageEngine, registry: ProcedureRegistry) -> None:
         self.engine = engine
         self.registry = registry
+        #: sharding hooks — both ``None`` outside a sharded deployment, in
+        #: which case every code path is byte-for-byte the unsharded one.
+        #: ``snapshot_source(block_id)`` returns the read snapshot (a
+        #: federated, cross-shard view when set); ``key_scope(key)`` is the
+        #: shard-locality predicate commit steps filter writes through.
+        self.snapshot_source = None
+        self.key_scope = None
 
     # -- subclasses implement ------------------------------------------------
-    def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
+    def prepare_block(self, block_id: int, txns: list[Txn]) -> PreparedBlock:
+        """Simulate and validate; decide the local commit/abort vote."""
         raise NotImplementedError
+
+    def commit_block(
+        self, prepared: PreparedBlock, abort_tids: frozenset = frozenset()
+    ) -> BlockExecution:
+        """Apply the prepared block; ``abort_tids`` are cross-shard vetoes."""
+        raise NotImplementedError
+
+    def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
+        return self.commit_block(self.prepare_block(block_id, txns))
 
     # -- shared helpers ------------------------------------------------------
     def snapshot_for(self, block_id: int, lag: int = 1) -> SnapshotView:
+        if self.snapshot_source is not None:
+            return self.snapshot_source(block_id - lag)
         return self.engine.snapshot(block_id - lag)
+
+    def force_aborts(self, txns: list[Txn], abort_tids) -> None:
+        """Mark cross-shard vetoed transactions aborted before commit."""
+        if not abort_tids:
+            return
+        for txn in txns:
+            if txn.tid in abort_tids and not txn.aborted:
+                txn.mark_aborted(AbortReason.CROSS_SHARD_ABORT)
+
+    def in_scope(self, key: object) -> bool:
+        """Whether ``key`` is locally owned (always true unsharded)."""
+        return self.key_scope is None or self.key_scope(key)
 
     def read_base(self, key: object):
         """Latest committed value (tombstones surface as ``None``)."""

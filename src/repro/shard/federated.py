@@ -1,0 +1,48 @@
+"""Cross-shard read views: the ordered remote-read exchange, materialized.
+
+A cross-shard transaction executes at *every* participant shard, and its
+reads may touch keys any shard owns. Because all shards advance block-
+locked (every shard applies global block *b* before any shard prepares
+*b+1*), "the snapshot of block *b*" is globally well-defined, and a remote
+read is deterministic: every participant resolves the identical value no
+matter when its messages arrive. That is what lets the vote exchange be
+the *only* cross-shard coordination — reads need no locks, just one
+(priced) network round.
+
+:class:`FederatedSnapshot` implements the snapshot interface the
+simulation context consumes (``get`` / ``scan`` / ``get_entry``) by
+routing each key to its owner's :class:`~repro.storage.mvstore.MVStore`
+snapshot at the same block height.
+"""
+
+from __future__ import annotations
+
+from repro.shard.router import ShardRouter
+
+
+class FederatedSnapshot:
+    """A snapshot of the whole sharded database as of one global block."""
+
+    def __init__(self, router: ShardRouter, stores: list, block_id: int) -> None:
+        self._router = router
+        self._views = [store.snapshot(block_id) for store in stores]
+        self.block_id = block_id
+
+    def get(self, key: object):
+        return self._views[self._router.shard_of(key)].get(key)
+
+    def get_entry(self, key: object):
+        return self._views[self._router.shard_of(key)].get_entry(key)
+
+    def scan(self, start: object, end: object):
+        """Merged range read across every shard's key range.
+
+        Each per-shard scan yields sorted rows; the global result is the
+        sorted union (shards own disjoint keys, so no shadowing is needed).
+        """
+        rows = [row for view in self._views for row in view.scan(start, end)]
+        try:
+            rows.sort(key=lambda kv: kv[0])
+        except TypeError:
+            rows.sort(key=lambda kv: repr(kv[0]))
+        return iter(rows)

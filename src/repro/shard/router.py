@@ -1,0 +1,135 @@
+"""Deterministic keyspace partitioning: key -> shard.
+
+The router is a pure function shared by every replica of every shard —
+routing decisions must never depend on local state, message timing or dict
+iteration order, or replicas would disagree about which shard owns a write.
+Three policies:
+
+- ``hash``   — SHA-256 of the key's canonical form, mod ``num_shards``.
+  Re-keying safe: the mapping depends only on (key, num_shards), never on
+  insertion order or router instance history.
+- ``range``  — explicit sorted split boundaries; shard *i* owns keys in
+  ``[bounds[i-1], bounds[i])`` (contiguous key ranges, the classic
+  range-partitioned layout).
+- ``workload`` — the workload exposes each key's position in a contiguous
+  index space (:meth:`~repro.workloads.base.Workload.shard_index`); the
+  router splits that space with the same formula
+  :class:`~repro.workloads.base.ShardAffinity` generates against, so a
+  partition-local transaction stream is also a single-shard transaction
+  stream. Keys outside the index space (``None`` position) fall back to
+  the hash policy.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+
+from repro.workloads.base import partition_split_points
+
+
+class ShardRouter:
+    """Deterministic key -> shard mapping plus spec-level participant sets."""
+
+    def __init__(
+        self,
+        num_shards: int,
+        policy: str = "hash",
+        boundaries: list | None = None,
+        index_fn=None,
+        index_space: int | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if policy not in ("hash", "range", "workload"):
+            raise ValueError(f"unknown routing policy {policy!r}")
+        if policy == "range":
+            boundaries = list(boundaries or [])
+            if len(boundaries) != num_shards - 1:
+                raise ValueError(
+                    f"range policy needs {num_shards - 1} boundaries, "
+                    f"got {len(boundaries)}"
+                )
+            if boundaries != sorted(boundaries):
+                raise ValueError("range boundaries must be sorted")
+        if policy == "workload" and (index_fn is None or not index_space):
+            raise ValueError("workload policy needs index_fn and index_space")
+        self.num_shards = num_shards
+        self.policy = policy
+        self._boundaries = boundaries
+        self._index_fn = index_fn
+        self._index_space = index_space
+        #: workload policy: the shared, cached split points — shard_of sits
+        #: on every read/scope check, so each call is one bisect, and the
+        #: formula is literally the one the affinity generator folds with.
+        self._index_bounds = (
+            partition_split_points(index_space, num_shards)
+            if policy == "workload"
+            else None
+        )
+
+    @classmethod
+    def for_workload(cls, workload, num_shards: int) -> "ShardRouter":
+        """The router aligned with ``workload``'s partition layout.
+
+        Uses the workload policy when the workload exposes index hints
+        (YCSB / SmallBank / hotspot); otherwise the hash policy — still
+        correct, just blind to any affinity the generator applied.
+        """
+        space = getattr(workload, "shard_space", None)
+        if space:
+            return cls(
+                num_shards,
+                policy="workload",
+                index_fn=workload.shard_index,
+                index_space=space,
+            )
+        return cls(num_shards, policy="hash")
+
+    # ------------------------------------------------------------- routing
+    def shard_of(self, key: object) -> int:
+        """The shard owning ``key``; deterministic across replicas."""
+        if self.num_shards == 1:
+            return 0
+        if self.policy == "range":
+            return bisect_right(self._boundaries, key)
+        if self.policy == "workload":
+            position = self._index_fn(key)
+            if position is not None:
+                return bisect_right(self._index_bounds, position)
+        return self._hash_shard(key)
+
+    def _hash_shard(self, key: object) -> int:
+        digest = hashlib.sha256(repr(key).encode()).digest()
+        return int.from_bytes(digest[:8], "big") % self.num_shards
+
+    def is_local(self, key: object, shard: int) -> bool:
+        return self.shard_of(key) == shard
+
+    def shards_for(self, keys) -> frozenset:
+        """Participant set of a key footprint."""
+        return frozenset(self.shard_of(key) for key in keys)
+
+    def participants_of(self, workload, spec) -> frozenset:
+        """Shards a transaction runs on, from its static key footprint.
+
+        An unknown footprint (``spec_keys`` returned ``None`` — e.g. a
+        procedure whose accesses, or scan ranges, are not a pure function
+        of its parameters) is routed to *every* shard: conservative, always
+        correct, and the cost shows up as cross-shard coordination instead
+        of a consistency hole. An *empty* footprint gets the same
+        treatment — every transaction must live in at least one sub-block,
+        and all-shards stays correct even if the workload's static
+        analysis under-reported.
+        """
+        keys = workload.spec_keys(spec)
+        if not keys:
+            return frozenset(range(self.num_shards))
+        return self.shards_for(keys)
+
+    def split_state(self, state: dict) -> list[dict]:
+        """Partition an initial-state map into per-shard slices."""
+        shards: list[dict] = [{} for _ in range(self.num_shards)]
+        for key, value in state.items():
+            shards[self.shard_of(key)][key] = value
+        return shards

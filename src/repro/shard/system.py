@@ -1,0 +1,451 @@
+"""The sharded Order-Execute blockchain: N pipelines, one global order.
+
+:class:`ShardedBlockchain` runs one full OE pipeline per shard — each with
+its own :class:`~repro.storage.engine.StorageEngine`, DCC executor,
+hash-chained ledger and :class:`~repro.sim.scheduler.PipelineSimulator`
+lane — under a single global ordering service. Per global block:
+
+1. the ordering service cuts the global block; the
+   :class:`~repro.chain.ordering.ShardSequencer` derives per-shard
+   sub-blocks (global TIDs preserved, empty sub-blocks keep every shard
+   block-locked);
+2. every shard *prepares* its sub-block (simulate against a
+   :class:`~repro.shard.federated.FederatedSnapshot`, validate with its
+   own DCC protocol) — the prepare outcome is its 2PC vote;
+3. votes on cross-shard transactions are exchanged and folded into a
+   hash-chained :class:`~repro.shard.twopc.CommitCertificate`;
+4. every shard *commits*, honouring the certificate's vetoes and
+   installing only the writes it owns.
+
+With ``num_shards=1`` every hook degenerates to the unsharded pipeline
+(no federation, no scope, no votes) and the run is decision-identical to
+:class:`~repro.chain.system.OEBlockchain` on the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.node import ReplicaNode
+from repro.chain.ordering import OrderingService, ShardSequencer
+from repro.chain.system import (
+    COMMAND_BYTES,
+    OEConfig,
+    append_block_latencies,
+    build_executor,
+    decision_digest,
+)
+from repro.consensus.crypto import Signer
+from repro.consensus.hotstuff import HotStuffConsensus
+from repro.consensus.kafka import KafkaOrdering
+from repro.consensus.network import NetworkModel
+from repro.dcc.oracle import SerializabilityOracle
+from repro.shard.federated import FederatedSnapshot
+from repro.shard.router import ShardRouter
+from repro.shard.twopc import CertificateLog, ShardVote
+from repro.sim.costs import CostModel
+from repro.sim.metrics import BlockStats, RunMetrics
+from repro.sim.rng import SeededRng
+from repro.sim.scheduler import BlockTiming, PipelineSimulator, merge_shard_results
+from repro.storage.engine import StorageEngine
+from repro.storage.mvstore import combine_state_hashes
+from repro.storage.wal import LogMode
+from repro.txn.transaction import AbortReason
+
+
+@dataclass
+class ShardConfig(OEConfig):
+    """An :class:`~repro.chain.system.OEConfig` plus the sharding knobs."""
+
+    num_shards: int = 1
+    #: ``workload`` aligns with the workload's partition layout (falls back
+    #: to ``hash`` when the workload has no index hints); ``hash`` and
+    #: ``range`` are the generic policies.
+    router_policy: str = "workload"
+    #: explicit split points for ``router_policy="range"``
+    range_boundaries: tuple = ()
+    #: core budget of each shard's replica (scale-out: every shard is its
+    #: own machine group); ``None`` = same budget as the unsharded replica
+    cores_per_shard: int | None = None
+    #: bytes of one batched remote-read round (request + values)
+    cross_read_bytes: int = 256
+    #: bytes of one prepare vote on the wire
+    vote_bytes: int = 64
+    #: retain per-block executions + merged transactions (tests/oracles)
+    keep_history: bool = False
+
+
+@dataclass
+class GlobalBlockRecord:
+    """One global block's outcome, kept when ``keep_history`` is set."""
+
+    block_id: int
+    merged_txns: list
+    executions: dict
+    participants: list
+    certificate: object
+
+
+class ShardGroup:
+    """One replica's full set of shard pipelines (nodes + wiring).
+
+    Both the primary and the consistency-check replica are instances of
+    this class: building one wires each shard executor's federated
+    snapshot source and key scope, so replaying the same sub-blocks +
+    certificates reproduces the same state anywhere.
+    """
+
+    def __init__(
+        self,
+        config: ShardConfig,
+        workload,
+        router: ShardRouter,
+        costs: CostModel,
+        orderer_signer: Signer,
+        name_prefix: str = "replica-0",
+    ) -> None:
+        self.config = config
+        self.router = router
+        shard_states = router.split_state(workload.initial_state())
+        self.nodes: list[ReplicaNode] = []
+        for shard in range(config.num_shards):
+            engine = StorageEngine(
+                costs=costs,
+                profile=config.profile,
+                pool_pages=config.pool_pages,
+                log_mode=LogMode.LOGICAL,
+                checkpoint_interval=config.checkpoint_interval,
+            )
+            engine.preload(shard_states[shard])
+            executor = build_executor(config, engine, workload.build_registry())
+            self.nodes.append(
+                ReplicaNode(f"{name_prefix}/shard-{shard}", executor, orderer_signer)
+            )
+        if config.num_shards > 1:
+            stores = [node.engine.store for node in self.nodes]
+            for shard, node in enumerate(self.nodes):
+                node.executor.snapshot_source = (
+                    lambda snap_block_id, _stores=stores: FederatedSnapshot(
+                        router, _stores, snap_block_id
+                    )
+                )
+                node.executor.key_scope = (
+                    lambda key, _shard=shard: router.shard_of(key) == _shard
+                )
+
+    def prepare(self, sub_blocks: dict) -> dict:
+        """Phase one on every shard; all prepares precede any commit."""
+        return {
+            shard: node.prepare_block(sub_blocks[shard])
+            for shard, node in enumerate(self.nodes)
+        }
+
+    def finish(self, prepared: dict, abort_tids: frozenset) -> dict:
+        """Phase two on every shard, honouring the certificate's vetoes."""
+        return {
+            shard: node.finish_block(prepared[shard], abort_tids)
+            for shard, node in enumerate(self.nodes)
+        }
+
+    def state_hashes(self) -> list[str]:
+        return [node.state_hash() for node in self.nodes]
+
+    def combined_state_hash(self) -> str:
+        return combine_state_hashes(self.state_hashes())
+
+    def ledgers_ok(self) -> bool:
+        return all(node.ledger.verify_chain() for node in self.nodes)
+
+
+class ShardedBlockchain:
+    """N partitioned OE pipelines with deterministic cross-shard commit."""
+
+    def __init__(self, config: ShardConfig, workload) -> None:
+        if config.system == "serial" and config.num_shards > 1:
+            # serial reads its in-block predecessors, which only exist on
+            # the shard that executed them — no deterministic federation.
+            raise ValueError("serial execution does not support num_shards > 1")
+        self.config = config
+        self.workload = workload
+        self.costs = CostModel()
+        self.network = NetworkModel.preset(config.network)
+        self.orderer_signer = Signer("ordering-service")
+        self.ordering = OrderingService(self.orderer_signer)
+        self.sequencer = ShardSequencer(config.num_shards, self.orderer_signer)
+        self.router = self._build_router()
+        self.group = ShardGroup(
+            config, workload, self.router, self.costs, self.orderer_signer
+        )
+        if config.consensus == "hotstuff":
+            self.consensus = HotStuffConsensus(
+                self.network, self.costs, num_nodes=max(4, config.num_replicas)
+            )
+        else:
+            self.consensus = KafkaOrdering(self.network, self.costs)
+        self.cert_log = CertificateLog()
+        #: participant sets per global block (replayed by replicas)
+        self.participants_log: list[list[frozenset]] = []
+        self.history: list[GlobalBlockRecord] = []
+
+    def _build_router(self) -> ShardRouter:
+        config = self.config
+        if config.router_policy == "workload":
+            return ShardRouter.for_workload(self.workload, config.num_shards)
+        if config.router_policy == "range":
+            return ShardRouter(
+                config.num_shards,
+                policy="range",
+                boundaries=list(config.range_boundaries),
+            )
+        return ShardRouter(config.num_shards, policy="hash")
+
+    # ------------------------------------------------------------------ run
+    def _block_bytes(self) -> int:
+        return self.config.block_size * COMMAND_BYTES
+
+    def _inter_block_enabled(self) -> bool:
+        return self.config.system == "harmony" and self.config.harmony.inter_block
+
+    def _cores_per_shard(self) -> int:
+        return self.config.cores_per_shard or self.config.cores
+
+    def _remote_read_round_us(self) -> float:
+        """One batched remote-read exchange of a cross-shard simulation."""
+        return self.network.rtt_us(self.config.num_shards) + self.network.transfer_us(
+            self.config.cross_read_bytes
+        )
+
+    def _vote_exchange_us(self, num_cross_local: int) -> float:
+        """Prepare-vote broadcast + decide hop for one shard's sub-block."""
+        return 2.0 * self.network.worst_one_way_us(
+            self.config.num_shards
+        ) + self.network.broadcast_us(
+            self.config.vote_bytes * num_cross_local, self.config.num_shards - 1
+        )
+
+    def run(self) -> RunMetrics:
+        config = self.config
+        workload = self.workload
+        rng = SeededRng(config.seed, f"oe/{config.system}/{workload.name}")
+        metrics = RunMetrics(system=config.system, workload=workload.name)
+
+        interval = self.consensus.min_block_interval_us(
+            self._block_bytes(), config.num_replicas
+        )
+        consensus_latency = self._consensus_latency_us()
+        remote_round_us = self._remote_read_round_us()
+
+        shard_timings: list[list[BlockTiming]] = [
+            [] for _ in range(config.num_shards)
+        ]
+        merged_blocks: list[tuple[int, list]] = []
+        per_block_committed: list[int] = []
+        cross_txns_total = 0
+        cross_aborted_total = 0
+        retry_queue: list = []
+
+        for i in range(config.num_blocks):
+            retries = retry_queue[: config.block_size]
+            retry_queue = retry_queue[config.block_size :]
+            fresh = workload.generate_block(config.block_size - len(retries), rng)
+            block = self.ordering.form_block(retries + fresh)
+
+            participants = [
+                self.router.participants_of(workload, spec) for spec in block.specs
+            ]
+            self.participants_log.append(participants)
+            cross_tids = {
+                block.first_tid + j
+                for j, shards in enumerate(participants)
+                if len(shards) > 1
+            }
+            cross_txns_total += len(cross_tids)
+
+            sub_blocks = self.sequencer.split(block, participants)
+            prepared = self.group.prepare(sub_blocks)
+
+            # --- ordered vote exchange: prepare outcomes become the block
+            # stream's commit certificate (deterministic all-yes rule).
+            votes: list[ShardVote] = []
+            for shard, prep in prepared.items():
+                for txn in prep.txns:
+                    if txn.tid in cross_tids:
+                        votes.append(
+                            ShardVote(
+                                tid=txn.tid,
+                                shard_id=shard,
+                                commit=not txn.aborted,
+                                reason=txn.abort_reason.value if txn.aborted else None,
+                            )
+                        )
+            certificate = self.cert_log.append(votes, block.block_id)
+            executions = self.group.finish(prepared, certificate.abort_tids)
+            cross_aborted_total += len(certificate.abort_tids)
+
+            # --- merged (global) view: one runtime record per transaction,
+            # taken from its coordinator shard (lowest participant id).
+            merged_txns = []
+            by_shard_tid = {
+                shard: {t.tid: t for t in execution.txns}
+                for shard, execution in executions.items()
+            }
+            for j in range(block.size):
+                tid = block.first_tid + j
+                coordinator = min(participants[j])
+                merged_txns.append(by_shard_tid[coordinator][tid])
+            merged_blocks.append((block.block_id, merged_txns))
+
+            if config.retry_aborted:
+                retry_queue.extend(t.spec for t in merged_txns if t.aborted)
+
+            stats = BlockStats(block_id=block.block_id)
+            for txn in merged_txns:
+                if txn.committed:
+                    stats.committed += 1
+                elif txn.aborted:
+                    stats.aborted += 1
+            if config.measure_false_aborts:
+                stats.false_aborts = SerializabilityOracle.count_false_aborts(
+                    merged_txns
+                )
+            # validator events are per-shard observations (a cross-shard
+            # transaction is validated at every participant)
+            stats.dangerous_structure_hits = sum(
+                e.stats.dangerous_structure_hits for e in executions.values()
+            )
+            metrics.merge_block(stats)
+            per_block_committed.append(stats.committed)
+
+            for shard, execution in executions.items():
+                # serial front-end: each shard ingests only its sub-block
+                execution.pre_exec_serial_us += (
+                    sub_blocks[shard].size * self.costs.ingest_us
+                )
+                sim_durations = list(execution.sim_durations_us)
+                cross_here = 0
+                for idx, txn in enumerate(execution.txns):
+                    if txn.tid in cross_tids:
+                        cross_here += 1
+                        if idx < len(sim_durations):
+                            # the cross-shard simulation waits one batched
+                            # remote-read round
+                            sim_durations[idx] += remote_round_us
+                post_commit = execution.post_commit_serial_us
+                if cross_here:
+                    # the vote exchange separates prepare from commit; in
+                    # the lane model the serial tail position is equivalent
+                    # (commit_finish shifts by the same amount either way)
+                    post_commit += self._vote_exchange_us(cross_here)
+                shard_timings[shard].append(
+                    BlockTiming(
+                        arrival_us=i * interval,
+                        sim_durations=sim_durations,
+                        commit_durations=execution.commit_durations_us,
+                        serial_commit=execution.serial_commit,
+                        pre_exec_serial_us=execution.pre_exec_serial_us,
+                        post_commit_serial_us=post_commit,
+                    )
+                )
+
+            if config.keep_history:
+                self.history.append(
+                    GlobalBlockRecord(
+                        block_id=block.block_id,
+                        merged_txns=merged_txns,
+                        executions=executions,
+                        participants=participants,
+                        certificate=certificate,
+                    )
+                )
+
+        # --- timing: one pipeline lane per shard, merged into one timeline.
+        lag = self.config.harmony.snapshot_lag if self._inter_block_enabled() else 2
+        results = [
+            PipelineSimulator(
+                num_cores=self._cores_per_shard(),
+                inter_block=self._inter_block_enabled(),
+                snapshot_lag=lag,
+            ).simulate(timings)
+            for timings in shard_timings
+        ]
+        merged_result = merge_shard_results(results)
+
+        metrics.sim_time_us = merged_result.makespan_us
+        metrics.cpu_utilization = merged_result.cpu_utilization
+        append_block_latencies(
+            metrics,
+            merged_result.commit_finish_us,
+            interval,
+            consensus_latency,
+            self.network.worst_one_way_us(self.config.num_replicas),
+            per_block_committed,
+        )
+
+        for node in self.group.nodes:
+            engine = node.engine
+            metrics.io_reads += engine.io_reads
+            metrics.io_writes += engine.io_writes
+            metrics.buffer_hits += engine.buffer_hits
+            metrics.buffer_misses += engine.buffer_misses
+        metrics.extra["state_hash"] = self.group.combined_state_hash()
+        metrics.extra["shard_state_hashes"] = self.group.state_hashes()
+        metrics.extra["ledger_ok"] = self.group.ledgers_ok()
+        metrics.extra["decision_digest"] = decision_digest(merged_blocks)
+        metrics.extra["num_shards"] = self.config.num_shards
+        metrics.extra["cross_shard_txns"] = cross_txns_total
+        metrics.extra["cross_shard_aborted"] = cross_aborted_total
+        metrics.extra["certificates_ok"] = self.cert_log.verify_chain()
+        metrics.extra["cert_head"] = self.cert_log.head_hash
+        return metrics
+
+    def _consensus_latency_us(self) -> float:
+        if isinstance(self.consensus, HotStuffConsensus):
+            return self.consensus.block_latency_us()
+        return self.consensus.block_latency_us(
+            self._block_bytes(), self.config.num_replicas
+        )
+
+    # -------------------------------------------------------------- checks
+    def consistency_check(self) -> bool:
+        """Replay blocks + certificates on a fresh replica; states must match.
+
+        The replica never re-runs the vote exchange: the certificates *are*
+        the decision stream, so a correct replica reaches the identical
+        per-shard states from (sub-blocks, certificates) alone — the
+        sharded analogue of the paper's replica-consistency claim.
+        """
+        other = ShardGroup(
+            self.config,
+            self.workload,
+            self.router,
+            self.costs,
+            self.orderer_signer,
+            name_prefix="replica-1",
+        )
+        height = len(self.group.nodes[0].ledger)
+        for i in range(height):
+            sub_blocks = {
+                shard: node.ledger[i] for shard, node in enumerate(self.group.nodes)
+            }
+            prepared = other.prepare(sub_blocks)
+            other.finish(prepared, self.cert_log[i].abort_tids)
+        return other.combined_state_hash() == self.group.combined_state_hash()
+
+    # ------------------------------------------------------------ reporting
+    def cross_shard_abort_reasons(self) -> dict:
+        """Histogram of veto reasons recorded in the certificate stream."""
+        reasons: dict[str, int] = {}
+        for cert in self.cert_log.certificates():
+            for vote in cert.votes:
+                if not vote.commit and vote.reason:
+                    reasons[vote.reason] = reasons.get(vote.reason, 0) + 1
+        return reasons
+
+
+def build_sharded_system(config: ShardConfig, workload) -> ShardedBlockchain:
+    """Convenience constructor matching :func:`repro.chain.system.build_system`."""
+    return ShardedBlockchain(config, workload)
+
+
+# re-exported for callers that reason about forced aborts
+CROSS_SHARD_ABORT = AbortReason.CROSS_SHARD_ABORT

@@ -1,0 +1,119 @@
+"""Deterministic two-phase commit over the block stream.
+
+There is no coordinator process and no timeout path: the *ordering layer*
+is the coordinator. For every global block each participant shard derives
+a prepare vote for each of its cross-shard transactions (the outcome of
+its local deterministic validation — a pure function of the sub-block),
+the votes are exchanged, and the decision rule is fixed: **commit iff
+every participant voted commit**. Votes and decisions are serialized into
+a hash-chained :class:`CommitCertificate` stream that parallels the block
+stream, so a replica joining late (or recovering) replays blocks +
+certificates and lands on the identical state — it never needs to re-run
+the vote exchange. Because votes themselves are deterministic, the
+certificate is redundant information in the failure-free case (every
+replica computes the same votes); shipping it in the stream is what makes
+the decision *auditable* and replayable without re-execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.consensus.crypto import sha256_hex
+
+GENESIS_CERT_HASH = "0" * 64
+
+
+@dataclass(frozen=True)
+class ShardVote:
+    """One participant's prepare vote on one cross-shard transaction."""
+
+    tid: int
+    shard_id: int
+    commit: bool
+    #: the local abort reason backing a veto (diagnostics; not hashed)
+    reason: str | None = None
+
+
+@dataclass
+class CommitCertificate:
+    """The ordered vote record + decisions for one global block."""
+
+    block_id: int
+    votes: tuple
+    #: TIDs vetoed by at least one participant (the deterministic decision)
+    abort_tids: frozenset
+    prev_hash: str = GENESIS_CERT_HASH
+    hash: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.hash:
+            self.hash = self.compute_hash()
+
+    def payload_bytes(self) -> bytes:
+        votes = ";".join(
+            f"{v.tid}@{v.shard_id}={'c' if v.commit else 'a'}" for v in self.votes
+        )
+        aborts = ",".join(str(t) for t in sorted(self.abort_tids))
+        return f"{self.block_id}|{votes}|{aborts}|{self.prev_hash}".encode()
+
+    def compute_hash(self) -> str:
+        return sha256_hex(self.payload_bytes())
+
+    def verify(self, expected_prev_hash: str) -> bool:
+        if self.prev_hash != expected_prev_hash or self.hash != self.compute_hash():
+            return False
+        # the decision must be exactly the all-yes rule over the votes
+        vetoed = {v.tid for v in self.votes if not v.commit}
+        return vetoed == set(self.abort_tids)
+
+
+def decide(votes: list[ShardVote]) -> frozenset:
+    """The commit rule: a transaction aborts iff any participant vetoed."""
+    return frozenset(v.tid for v in votes if not v.commit)
+
+
+def make_certificate(
+    block_id: int, votes: list[ShardVote], prev_hash: str
+) -> CommitCertificate:
+    """Build the block's certificate with votes in canonical order."""
+    ordered = tuple(sorted(votes, key=lambda v: (v.tid, v.shard_id)))
+    return CommitCertificate(
+        block_id=block_id,
+        votes=ordered,
+        abort_tids=decide(votes),
+        prev_hash=prev_hash,
+    )
+
+
+@dataclass
+class CertificateLog:
+    """Append-only, hash-chained certificate stream (one per global block)."""
+
+    _certs: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self._certs)
+
+    def __getitem__(self, index: int) -> CommitCertificate:
+        return self._certs[index]
+
+    @property
+    def head_hash(self) -> str:
+        return self._certs[-1].hash if self._certs else GENESIS_CERT_HASH
+
+    def append(self, votes: list[ShardVote], block_id: int) -> CommitCertificate:
+        cert = make_certificate(block_id, votes, self.head_hash)
+        self._certs.append(cert)
+        return cert
+
+    def verify_chain(self) -> bool:
+        prev = GENESIS_CERT_HASH
+        for cert in self._certs:
+            if not cert.verify(prev):
+                return False
+            prev = cert.hash
+        return True
+
+    def certificates(self) -> list:
+        return list(self._certs)

@@ -63,6 +63,38 @@ class PipelineResult:
         return min(1.0, self.busy_core_us / (self.num_cores * self.makespan_us))
 
 
+def merge_shard_results(results: list[PipelineResult]) -> PipelineResult:
+    """Fold per-shard pipeline results into one aggregate timeline.
+
+    Shards run on disjoint core budgets (scale-out: each shard is its own
+    replica group), so their lanes overlap in wall-clock time: the global
+    block *i* is committed when its slowest shard finishes it, the run's
+    makespan is the slowest shard's, busy time and core counts add, and
+    utilization follows from the sums. All inputs must cover the same
+    number of blocks (every shard processes every global block, empty
+    sub-blocks included — that alignment is what makes the per-index max
+    meaningful).
+    """
+    if not results:
+        raise ValueError("need at least one shard result")
+    num_blocks = len(results[0].commit_finish_us)
+    if any(len(r.commit_finish_us) != num_blocks for r in results):
+        raise ValueError("shard lanes cover different block counts")
+    commit_finish = [
+        max(r.commit_finish_us[i] for r in results) for i in range(num_blocks)
+    ]
+    sim_start = [
+        min(r.sim_start_us[i] for r in results) for i in range(num_blocks)
+    ] if all(len(r.sim_start_us) == num_blocks for r in results) else []
+    return PipelineResult(
+        commit_finish_us=commit_finish,
+        makespan_us=max(r.makespan_us for r in results),
+        busy_core_us=sum(r.busy_core_us for r in results),
+        num_cores=sum(r.num_cores for r in results),
+        sim_start_us=sim_start,
+    )
+
+
 class PipelineSimulator:
     """Schedules a stream of blocks on ``num_cores`` cores.
 

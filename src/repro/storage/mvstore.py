@@ -23,6 +23,9 @@ Hot-path notes:
   version chains in one pass (chain-tail fast path, no per-key
   ``get_latest``); the per-key probe loops are retained behind
   ``indexed=False`` as the differential reference.
+- :meth:`MVStore.gc` walks only watermarked chains (keys written more than
+  once since their last collection); the seed's every-chain walk is
+  retained behind ``indexed=False``.
 - :meth:`MVStore.state_hash` is incremental: each live ``(key, value)``
   entry contributes a 256-bit SHA digest combined into a running
   accumulator by addition mod 2²⁵⁶ (Bellare–Micciancio's AdHash — order
@@ -94,6 +97,17 @@ def canonical(value: object) -> str:
 
 #: accumulator modulus for the additive (AdHash-style) state hash
 _HASH_MOD = 1 << 256
+
+
+def combine_state_hashes(hashes) -> str:
+    """Fold per-store state hashes into the hash of their union.
+
+    Valid only for stores over *disjoint* keyspaces (the sharded layout):
+    each store's hash is the sum of its live entry digests, so the union's
+    hash is the modular sum — a single-store deployment's combined hash
+    equals its own.
+    """
+    return f"{sum(int(h, 16) for h in hashes) % _HASH_MOD:064x}"
 
 
 def _entry_digest(key: object, value: object) -> int:
@@ -192,6 +206,11 @@ class MVStore:
         self._key_digest: dict[object, int] = {}
         #: keys written since the accumulator was last brought up to date
         self._stale_keys: set[object] = set()
+        #: gc watermark: keys whose chains grew past one version since the
+        #: last collection — the only chains a horizon move can shorten.
+        #: Bulk loads of fresh keys never enter (chain length one), so a
+        #: million-key populate costs gc nothing.
+        self._gc_pending: set[object] = set()
 
     def __contains__(self, key: object) -> bool:
         value, _ = self.get_latest(key)
@@ -241,6 +260,7 @@ class MVStore:
                         f"{chain[-1][0][0]} would break {key!r}'s version order"
                     )
                 chain.append(((block_id, seq), value))
+                self._gc_pending.add(key)
         self._stale_keys.update(items)
         self._merge_new_keys(new_keys)
 
@@ -271,6 +291,7 @@ class MVStore:
             )
         versions = self._versions
         stale = self._stale_keys
+        pending = self._gc_pending
         new_keys = []
         for seq, (key, value) in enumerate(writes):
             chain = versions.get(key)
@@ -279,6 +300,7 @@ class MVStore:
                 new_keys.append(key)
             else:
                 chain.append(((block_id, seq), value))
+                pending.add(key)
             stale.add(key)
         self._merge_new_keys(new_keys)
         self.last_committed_block = block_id
@@ -303,22 +325,47 @@ class MVStore:
             insort(self._sorted_keys, key)
         else:
             chain.append((version, value))
+            self._gc_pending.add(key)
         self._stale_keys.add(key)
 
-    def gc(self, keep_after_block: int) -> int:
+    @staticmethod
+    def _gc_chain(chain: list, keep_after_block: int) -> int:
+        """Drop ``chain``'s versions older than the horizon; count dropped."""
+        cut = 0
+        for i, (version, _value) in enumerate(chain):
+            if version[0] <= keep_after_block:
+                cut = i
+            else:
+                break
+        if cut > 0:
+            del chain[:cut]
+        return cut
+
+    def gc(self, keep_after_block: int, indexed: bool = True) -> int:
         """Drop versions strictly older than the latest one at or before
-        ``keep_after_block``. Returns the number of versions dropped."""
+        ``keep_after_block``. Returns the number of versions dropped.
+
+        ``indexed=True`` (default) walks only the watermarked chains —
+        keys written more than once since their last collection — instead
+        of every chain in the store: a single-version chain can never lose
+        a version to any horizon, and after a collection a key leaves the
+        watermark set as soon as its chain is back to one version.
+        ``indexed=False`` retains the seed's full walk as the
+        differential-testing reference; both drop the identical versions.
+        """
         dropped = 0
-        for chain in self._versions.values():
-            cut = 0
-            for i, (version, _value) in enumerate(chain):
-                if version[0] <= keep_after_block:
-                    cut = i
-                else:
-                    break
-            if cut > 0:
-                del chain[:cut]
-                dropped += cut
+        if indexed:
+            pending = self._gc_pending
+            for key in list(pending):
+                chain = self._versions[key]
+                dropped += self._gc_chain(chain, keep_after_block)
+                if len(chain) == 1:
+                    pending.discard(key)
+            return dropped
+        for key, chain in self._versions.items():
+            dropped += self._gc_chain(chain, keep_after_block)
+            if len(chain) == 1:
+                self._gc_pending.discard(key)
         return dropped
 
     def state_hash(self) -> str:

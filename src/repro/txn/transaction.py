@@ -34,6 +34,7 @@ class AbortReason(enum.Enum):
     GRAPH_OVERFLOW = "graph-overflow"  # FastFabric# drops txns on big graphs
     ENDORSEMENT_MISMATCH = "endorsement-mismatch"  # SOV divergent rw-sets
     EXECUTION_ERROR = "execution-error"
+    CROSS_SHARD_ABORT = "cross-shard-abort"  # 2PC veto by another shard
 
 
 @dataclass(frozen=True)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.sim.rng import SeededRng
 from repro.txn.procedures import ProcedureRegistry
 from repro.txn.transaction import TxnSpec
-from repro.workloads.base import Workload, params
+from repro.workloads.base import ShardAffinity, Workload, params
 from repro.workloads.ycsb import key_of
 
 HOT_FRACTION = 0.01
@@ -32,6 +32,7 @@ class HotspotWorkload(Workload):
         statements_per_txn: int = 10,
         hotspot_probability: float = 0.5,
         fused: bool = True,
+        affinity: ShardAffinity | None = None,
     ) -> None:
         self.num_keys = num_keys
         self.statements_per_txn = statements_per_txn
@@ -39,6 +40,10 @@ class HotspotWorkload(Workload):
         #: fused=True models the SELECT+UPDATE -> UPDATE rewrite; False is
         #: the separated form (the "opportunity lost" case of Section 3.3.2).
         self.fused = fused
+        #: partition-local key choice with a tunable cross-shard ratio; the
+        #: affinity fold keeps hotspot pressure (multiples of the stride
+        #: remain spread across each partition's index range)
+        self.affinity = affinity
         self.num_hot = max(1, int(num_keys * HOT_FRACTION))
         #: hot keys are spread across the keyspace (and thus across heap
         #: pages) so that hotspot pressure changes *conflicts*, not page
@@ -84,19 +89,46 @@ class HotspotWorkload(Workload):
         """Each transaction is 10 statements = 5 SELECT+UPDATE pairs; after
         the rewrite each pair is a single fused UPDATE (or a separated
         read-then-write when ``fused=False``)."""
+        affinity = self.affinity
         specs = []
         update_kind = "u" if self.fused else "ru"
         pairs = max(1, self.statements_per_txn // 2)
         for _ in range(size):
+            home = remote = None
+            if affinity is not None and affinity.num_shards > 1:
+                home = affinity.pick_home(rng)
+                if affinity.crosses(rng):
+                    remote = affinity.pick_other(rng, home)
             ops = []
             chosen: set[int] = set()
-            for _pair in range(pairs):
-                key = self._pick_key(rng)
+            for pair in range(pairs):
+                partition = None
+                if home is not None:
+                    partition = remote if remote is not None and pair == pairs - 1 else home
+
+                def pick() -> int:
+                    key = self._pick_key(rng)
+                    if partition is not None:
+                        key = affinity.map_index(key, partition, self.num_keys)
+                    return key
+
+                key = pick()
                 tries = 0
                 while key in chosen and tries < 20:
-                    key = self._pick_key(rng)
+                    key = pick()
                     tries += 1
                 chosen.add(key)
                 ops.append((update_kind, key, rng.randint(1, 9)))
             specs.append(TxnSpec("hotspot_txn", params(ops=tuple(ops))))
         return specs
+
+    # ---------------------------------------------------------- shard hints
+    def spec_keys(self, spec: TxnSpec) -> list:
+        return [key_of(op[1]) for op in spec.param_dict["ops"]]
+
+    def shard_index(self, key: object) -> int | None:
+        return key[1] if isinstance(key, tuple) and key[0] == "usertable" else None
+
+    @property
+    def shard_space(self) -> int:
+        return self.num_keys

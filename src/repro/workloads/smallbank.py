@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.sim.rng import SeededRng
 from repro.txn.procedures import ProcedureRegistry
 from repro.txn.transaction import TxnSpec
-from repro.workloads.base import Workload, params
+from repro.workloads.base import ShardAffinity, Workload, params, partition_of_index
 from repro.workloads.zipf import ZipfGenerator
 
 
@@ -44,10 +44,15 @@ class SmallbankWorkload(Workload):
         num_accounts: int = 10_000,
         theta: float = 0.6,
         initial_balance: float = 10_000.0,
+        affinity: ShardAffinity | None = None,
     ) -> None:
         self.num_accounts = num_accounts
         self.theta = theta
         self.initial_balance = initial_balance
+        #: a customer's checking and savings rows are co-located (partition
+        #: by cid), so only the two-customer procedures (amalgamate,
+        #: send_payment) can cross shards — ``cross_ratio`` applies to them
+        self.affinity = affinity
         self._zipf = ZipfGenerator(num_accounts, theta)
         total = sum(w for _p, w in MIX)
         self._mix_cdf = []
@@ -125,10 +130,15 @@ class SmallbankWorkload(Workload):
         return self._zipf.sample(rng)
 
     def generate_block(self, size: int, rng: SeededRng) -> list[TxnSpec]:
+        affinity = self.affinity
         specs = []
         for _ in range(size):
             proc = self._pick_proc(rng)
             cid = self._account(rng)
+            home = None
+            if affinity is not None and affinity.num_shards > 1:
+                home = affinity.pick_home(rng)
+                cid = affinity.map_index(cid, home, self.num_accounts)
             if proc == "sb_balance":
                 spec = TxnSpec(proc, params(cid=cid))
             elif proc == "sb_deposit_checking":
@@ -139,8 +149,13 @@ class SmallbankWorkload(Workload):
                 spec = TxnSpec(proc, params(cid=cid, amount=float(rng.randint(1, 50))))
             else:
                 other = self._account(rng)
+                if home is not None:
+                    partition = home
+                    if affinity.crosses(rng):
+                        partition = affinity.pick_other(rng, home)
+                    other = affinity.map_index(other, partition, self.num_accounts)
                 if other == cid:
-                    other = (cid + 1) % self.num_accounts
+                    other = self._bump_within_partition(other)
                 if proc == "sb_amalgamate":
                     spec = TxnSpec(proc, params(cid_from=cid, cid_to=other))
                 else:
@@ -150,3 +165,40 @@ class SmallbankWorkload(Workload):
                     )
             specs.append(spec)
         return specs
+
+    def _bump_within_partition(self, cid: int) -> int:
+        """The next distinct account, staying inside ``cid``'s partition."""
+        if self.affinity is None or self.affinity.num_shards == 1:
+            return (cid + 1) % self.num_accounts
+        affinity = self.affinity
+        partition = partition_of_index(cid, self.num_accounts, affinity.num_shards)
+        lo, hi = affinity.partition_bounds(self.num_accounts, partition)
+        return lo + (cid - lo + 1) % (hi - lo)
+
+    # ---------------------------------------------------------- shard hints
+    def spec_keys(self, spec: TxnSpec) -> list:
+        p = spec.param_dict
+        if spec.proc in ("sb_balance", "sb_write_check"):
+            return [checking(p["cid"]), savings(p["cid"])]
+        if spec.proc == "sb_deposit_checking":
+            return [checking(p["cid"])]
+        if spec.proc == "sb_transact_savings":
+            return [savings(p["cid"])]
+        if spec.proc == "sb_amalgamate":
+            return [
+                checking(p["cid_from"]),
+                savings(p["cid_from"]),
+                checking(p["cid_to"]),
+            ]
+        if spec.proc == "sb_send_payment":
+            return [checking(p["cid_from"]), checking(p["cid_to"])]
+        return None
+
+    def shard_index(self, key: object) -> int | None:
+        if isinstance(key, tuple) and key[0] in ("checking", "savings"):
+            return key[1]
+        return None
+
+    @property
+    def shard_space(self) -> int:
+        return self.num_accounts

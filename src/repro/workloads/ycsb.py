@@ -14,7 +14,7 @@ from __future__ import annotations
 from repro.sim.rng import SeededRng
 from repro.txn.procedures import ProcedureRegistry
 from repro.txn.transaction import TxnSpec
-from repro.workloads.base import Workload, params
+from repro.workloads.base import ShardAffinity, Workload, params
 from repro.workloads.zipf import ZipfGenerator
 
 
@@ -32,12 +32,14 @@ class YCSBWorkload(Workload):
         read_ratio: float = 0.5,
         theta: float = 0.6,
         distinct_keys: bool = True,
+        affinity: ShardAffinity | None = None,
     ) -> None:
         self.num_keys = num_keys
         self.ops_per_txn = ops_per_txn
         self.read_ratio = read_ratio
         self.theta = theta
         self.distinct_keys = distinct_keys
+        self.affinity = affinity
         self._zipf = ZipfGenerator(num_keys, theta)
         self._write_seq = 0
 
@@ -61,12 +63,42 @@ class YCSBWorkload(Workload):
         return registry
 
     def generate_block(self, size: int, rng: SeededRng) -> list[TxnSpec]:
+        affinity = self.affinity
         specs = []
         for _ in range(size):
+            home = remote = None
+            if affinity is not None and affinity.num_shards > 1:
+                home = affinity.pick_home(rng)
+                if affinity.crosses(rng):
+                    remote = affinity.pick_other(rng, home)
             if self.distinct_keys:
                 ranks = self._zipf.sample_distinct(rng, self.ops_per_txn)
             else:
                 ranks = [self._zipf.sample(rng) for _ in range(self.ops_per_txn)]
+            if home is not None:
+                # fold every access into the home partition; a cross-shard
+                # transaction sends its last access to the remote partition.
+                # Folding can collide two distinct ranks onto one partition-
+                # local index, so re-establish distinctness by probing to
+                # the next free index inside the partition (deterministic,
+                # no extra rng draws).
+                folded: list[int] = []
+                used: set[int] = set()
+                for j, rank in enumerate(ranks):
+                    partition = (
+                        remote if remote is not None and j == len(ranks) - 1 else home
+                    )
+                    index = affinity.map_index(rank, partition, self.num_keys)
+                    if self.distinct_keys:
+                        lo, hi = affinity.partition_bounds(self.num_keys, partition)
+                        span = hi - lo
+                        tries = 0
+                        while index in used and tries < span:
+                            index = lo + (index - lo + 1) % span
+                            tries += 1
+                        used.add(index)
+                    folded.append(index)
+                ranks = folded
             ops = []
             for rank in ranks:
                 if rng.random() < self.read_ratio:
@@ -76,3 +108,14 @@ class YCSBWorkload(Workload):
                     ops.append(("w", rank, 10_000 + self._write_seq))
             specs.append(TxnSpec("ycsb_txn", params(ops=tuple(ops))))
         return specs
+
+    # ---------------------------------------------------------- shard hints
+    def spec_keys(self, spec: TxnSpec) -> list:
+        return [key_of(op[1]) for op in spec.param_dict["ops"]]
+
+    def shard_index(self, key: object) -> int | None:
+        return key[1] if isinstance(key, tuple) and key[0] == "usertable" else None
+
+    @property
+    def shard_space(self) -> int:
+        return self.num_keys

@@ -220,3 +220,86 @@ class TestCrossSchemeConformance:
         serial = run_scheme("serial", "hotspot")
         assert serial["aborted"] == 0
         assert aria["aborted"] > 0
+
+
+def run_sharded_scheme(scheme: str, workload_name: str, num_shards: int = 2):
+    """A sharded run of ``scheme``; returns (chain, outcomes) with the
+    committed history certified by both oracle paths."""
+    from repro.shard.system import ShardConfig, ShardedBlockchain
+    from repro.workloads.base import ShardAffinity
+
+    # moderately contended: the affinity fold concentrates each partition's
+    # traffic, so the unsharded sweep's extreme skew would starve the
+    # abort-happy baselines of any commit at all
+    affinity = ShardAffinity(num_shards, 0.5)
+    if workload_name == "ycsb":
+        workload = YCSBWorkload(num_keys=300, theta=0.7, affinity=affinity)
+    elif workload_name == "smallbank":
+        workload = SmallbankWorkload(num_accounts=120, theta=0.7, affinity=affinity)
+    else:
+        workload = HotspotWorkload(
+            num_keys=300, hotspot_probability=0.5, affinity=affinity
+        )
+    config = ShardConfig(
+        system=scheme,
+        block_size=BLOCK_SIZE,
+        num_blocks=NUM_BLOCKS,
+        seed=11,
+        num_shards=num_shards,
+        keep_history=True,
+    )
+    chain = ShardedBlockchain(config, workload)
+    metrics = chain.run()
+
+    oracles = [HistoryOracle(indexed=True), HistoryOracle(indexed=False)]
+    for record in chain.history:
+        if scheme == "harmony":
+            key_applies = [
+                item
+                for shard in sorted(record.executions)
+                for item in record.executions[shard].key_applies
+            ]
+            snapshot_id = record.executions[0].snapshot_block_id
+        else:
+            # pre-block snapshot readers; per-key apply order is TID order
+            key_applies = applies_in_order(record.merged_txns)
+            snapshot_id = record.block_id - 1
+        for oracle in oracles:
+            oracle.record_block(
+                record.block_id,
+                record.merged_txns,
+                key_applies,
+                snapshot_block_id=snapshot_id,
+            )
+    indexed, naive = oracles
+    assert indexed.build_graph() == naive.build_graph()
+    assert indexed.is_serializable() and naive.is_serializable()
+
+    reasons = {
+        t.abort_reason
+        for record in chain.history
+        for t in record.merged_txns
+        if t.aborted
+    }
+    return chain, metrics, reasons
+
+
+class TestShardedConformance:
+    """The sharded pipeline upholds every scheme's conformance claims."""
+
+    @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("scheme", ("harmony", "aria", "rbc"))
+    def test_sharded_history_serializable(self, scheme, workload_name):
+        chain, metrics, reasons = run_sharded_scheme(scheme, workload_name)
+        assert metrics.committed > 0
+        # a shard's veto surfaces as CROSS_SHARD_ABORT on the other
+        # participants; every other reason must be one the scheme claims
+        assert reasons <= ALLOWED_ABORTS[scheme] | {AbortReason.CROSS_SHARD_ABORT}
+        assert metrics.extra["ledger_ok"]
+        assert metrics.extra["certificates_ok"]
+        if scheme == "harmony":
+            assert AbortReason.WAW not in reasons
+
+    def test_sharded_false_abort_accounting_sane(self):
+        _chain, metrics, _reasons = run_sharded_scheme("harmony", "ycsb")
+        assert 0 <= metrics.false_aborts <= metrics.aborted

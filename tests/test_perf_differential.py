@@ -20,7 +20,7 @@ from repro.core.dependencies import BlockDependencyIndex
 from repro.core.reordering import KeyApply, apply_write_sets, derive_reservation
 from repro.core.validation import HarmonyValidator
 from repro.dcc.aria import AriaExecutor
-from repro.dcc.oracle import HistoryOracle
+from repro.dcc.oracle import HistoryOracle, SerializabilityOracle
 from repro.execution import OverlayView
 from repro.intervals import RangeIndex, SortedKeys, covers
 from repro.storage.mvstore import MVStore, TOMBSTONE
@@ -209,6 +209,81 @@ class TestHistoryOracleDifferential:
         # a repeated fully-memoized call is idempotent
         assert fast.build_graph() == fast.build_graph()
 
+class TestFalseAbortDifferential:
+    """Indexed false-abort counting vs the per-abortee graph rebuild."""
+
+    @given(txn_block(max_txns=14))
+    @settings(max_examples=150, deadline=None)
+    def test_counts_identical_after_validation(self, txns):
+        HarmonyValidator().validate(txns)
+        for txn in txns:
+            if not txn.aborted:
+                txn.mark_committed()
+        naive = SerializabilityOracle.count_false_aborts(txns, indexed=False)
+        fast = SerializabilityOracle.count_false_aborts(txns, indexed=True)
+        assert naive == fast
+
+    @given(txn_block(max_txns=12), st.data())
+    @settings(max_examples=150, deadline=None)
+    def test_counts_identical_under_arbitrary_statuses(self, txns, data):
+        """Any committed/aborted split and any chain order (the value-based
+        schemes use TID order) must agree between the two paths."""
+        from repro.txn.transaction import AbortReason
+
+        for txn in txns:
+            if data.draw(st.booleans()):
+                txn.mark_committed()
+            else:
+                txn.mark_aborted(AbortReason.WAW)
+        for chain_order in (None, lambda t: t.tid):
+            naive = SerializabilityOracle.count_false_aborts(
+                txns, chain_order=chain_order, indexed=False
+            )
+            fast = SerializabilityOracle.count_false_aborts(
+                txns, chain_order=chain_order, indexed=True
+            )
+            assert naive == fast
+
+
+class TestGcDifferential:
+    """Watermarked gc vs the seed's every-chain walk."""
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(st.integers(0, NUM_KEYS - 1), st.integers(0, 5)),
+                max_size=8,
+            ),
+            min_size=1,
+            max_size=6,
+        ),
+        st.data(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_gc_identical_and_watermark_sound(self, blocks, data):
+        def build() -> MVStore:
+            store = MVStore()
+            store.load({_key(i): i for i in range(NUM_KEYS)})
+            for block_id, writes in enumerate(blocks):
+                batch = [
+                    (_key(i), TOMBSTONE if v == 0 else v) for i, v in writes
+                ]
+                store.apply_block(block_id, batch)
+            return store
+
+        naive, fast = build(), build()
+        horizons = sorted(
+            data.draw(st.lists(st.integers(-1, len(blocks)), max_size=3))
+        )
+        for horizon in horizons:
+            assert naive.gc(horizon, indexed=False) == fast.gc(horizon, indexed=True)
+            assert naive._versions == fast._versions
+        # the watermark must still cover every multi-version chain
+        multi = {k for k, chain in fast._versions.items() if len(chain) > 1}
+        assert multi <= fast._gc_pending
+
+
+class TestHistoryOracleFallbacks:
     def test_heterogeneous_chain_keys_fall_back(self):
         """Unsortable chain-key populations degrade to the linear scan."""
         reader = Txn(tid=0, block_id=1, spec=TxnSpec("ops"))

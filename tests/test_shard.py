@@ -1,0 +1,365 @@
+"""Sharded execution subsystem: routing, sub-blocks, deterministic 2PC.
+
+Pins the three contracts ISSUE 4 names:
+
+- **router determinism** — the key->shard mapping is a pure function of
+  (key, num_shards), stable under re-keying, fresh instances and query
+  order, and the workload policy agrees with the affinity generator's
+  partition layout;
+- **single-shard identity** — ``ShardedBlockchain(num_shards=1)`` is
+  decision- and state-identical to ``OEBlockchain`` on all three
+  workloads (and for every two-phase system);
+- **cross-shard commit** — vetoed transactions abort on *every*
+  participant, certificates chain and replay to the same state on a fresh
+  replica, and the committed cross-shard history is serializable per the
+  oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain.ordering import OrderingService, ShardSequencer
+from repro.chain.system import OEBlockchain, OEConfig
+from repro.consensus.crypto import Signer
+from repro.dcc.oracle import HistoryOracle
+from repro.shard.router import ShardRouter
+from repro.shard.system import ShardConfig, ShardedBlockchain
+from repro.shard.twopc import CertificateLog, ShardVote, decide, make_certificate
+from repro.txn.transaction import AbortReason, TxnSpec
+from repro.workloads.base import ShardAffinity, Workload, partition_of_index
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.smallbank import SmallbankWorkload
+from repro.workloads.ycsb import YCSBWorkload, key_of
+
+WORKLOADS = {
+    "ycsb": lambda affinity=None: YCSBWorkload(num_keys=160, theta=0.6, affinity=affinity),
+    "smallbank": lambda affinity=None: SmallbankWorkload(
+        num_accounts=80, theta=0.6, affinity=affinity
+    ),
+    "hotspot": lambda affinity=None: HotspotWorkload(
+        num_keys=200, hotspot_probability=0.5, affinity=affinity
+    ),
+}
+
+
+def shard_config(system="harmony", num_shards=1, **overrides) -> ShardConfig:
+    defaults = dict(block_size=10, num_blocks=5, seed=13)
+    defaults.update(overrides)
+    return ShardConfig(system=system, num_shards=num_shards, **defaults)
+
+
+def oe_config(system="harmony", **overrides) -> OEConfig:
+    defaults = dict(block_size=10, num_blocks=5, seed=13)
+    defaults.update(overrides)
+    return OEConfig(system=system, **defaults)
+
+
+# --------------------------------------------------------------------- router
+class TestShardRouter:
+    def test_hash_policy_stable_under_rekeying(self):
+        keys = [("usertable", i) for i in range(200)] + [("checking", i) for i in range(50)]
+        router_a = ShardRouter(4, policy="hash")
+        router_b = ShardRouter(4, policy="hash")
+        shuffled = list(keys)
+        random.Random(3).shuffle(shuffled)
+        mapping_a = {key: router_a.shard_of(key) for key in keys}
+        mapping_b = {key: router_b.shard_of(key) for key in shuffled}
+        assert mapping_a == mapping_b
+        assert set(mapping_a.values()) == set(range(4))  # all shards populated
+
+    def test_range_policy_owns_contiguous_ranges(self):
+        router = ShardRouter(
+            3, policy="range", boundaries=[("usertable", 50), ("usertable", 120)]
+        )
+        assert router.shard_of(("usertable", 0)) == 0
+        assert router.shard_of(("usertable", 49)) == 0
+        assert router.shard_of(("usertable", 50)) == 1
+        assert router.shard_of(("usertable", 119)) == 1
+        assert router.shard_of(("usertable", 500)) == 2
+
+    def test_range_policy_validates_boundaries(self):
+        with pytest.raises(ValueError):
+            ShardRouter(3, policy="range", boundaries=[1])
+        with pytest.raises(ValueError):
+            ShardRouter(2, policy="range", boundaries=[("b"), ("a")])
+
+    def test_workload_policy_matches_affinity_partitions(self):
+        """A partition-local generated key must route to that partition."""
+        workload = WORKLOADS["ycsb"](ShardAffinity(4, 0.0))
+        router = ShardRouter.for_workload(workload, 4)
+        affinity = workload.affinity
+        for partition in range(4):
+            for rank in (0, 7, 93):
+                index = affinity.map_index(rank, partition, workload.num_keys)
+                assert router.shard_of(key_of(index)) == partition
+
+    def test_partition_of_index_inverts_bounds(self):
+        affinity = ShardAffinity(3, 0.0)
+        for space in (10, 11, 1000):
+            for index in range(space):
+                partition = partition_of_index(index, space, 3)
+                lo, hi = affinity.partition_bounds(space, partition)
+                assert lo <= index < hi
+
+    def test_participants_from_static_footprints(self):
+        workload = SmallbankWorkload(num_accounts=100)
+        router = ShardRouter.for_workload(workload, 4)
+        spec = workload.generate_block(1, _rng())[0]
+        participants = router.participants_of(workload, spec)
+        assert participants == router.shards_for(workload.spec_keys(spec))
+
+    def test_unknown_footprint_routes_everywhere(self):
+        class Opaque(Workload):
+            name = "opaque"
+
+        router = ShardRouter(4, policy="hash")
+        assert router.participants_of(Opaque(), TxnSpec("anything")) == frozenset(
+            range(4)
+        )
+
+    def test_empty_footprint_routes_everywhere(self):
+        """A transaction with a (valid) empty static footprint must still
+        land in at least one sub-block; it gets the conservative route."""
+
+        class NoOp(Workload):
+            name = "noop"
+
+            def spec_keys(self, spec):
+                return []
+
+        router = ShardRouter(4, policy="hash")
+        assert router.participants_of(NoOp(), TxnSpec("noop")) == frozenset(range(4))
+
+    def test_split_state_partitions_exactly(self):
+        workload = WORKLOADS["ycsb"]()
+        router = ShardRouter.for_workload(workload, 4)
+        state = workload.initial_state()
+        parts = router.split_state(state)
+        merged = {}
+        for shard, part in enumerate(parts):
+            assert all(router.shard_of(key) == shard for key in part)
+            merged.update(part)
+        assert merged == state
+
+
+def _rng():
+    from repro.sim.rng import SeededRng
+
+    return SeededRng(5, "shard-tests")
+
+
+# ------------------------------------------------------------------ sequencer
+class TestShardSequencer:
+    def _global_block(self, size=8):
+        ordering = OrderingService(Signer("ordering-service"))
+        specs = [TxnSpec("noop", (("i", i),)) for i in range(size)]
+        return ordering.form_block(specs)
+
+    def test_split_preserves_global_tids_and_chains(self):
+        signer = Signer("ordering-service")
+        sequencer = ShardSequencer(3, signer)
+        ordering = OrderingService(signer)
+        prev = {shard: None for shard in range(3)}
+        for round_ in range(3):
+            block = ordering.form_block(
+                [TxnSpec("noop", (("i", i),)) for i in range(6)]
+            )
+            participants = [frozenset({i % 3}) if i % 2 else frozenset({i % 3, (i + 1) % 3}) for i in range(6)]
+            subs = sequencer.split(block, participants)
+            for shard, sub in subs.items():
+                assert sub.block_id == block.block_id
+                expected = [
+                    block.first_tid + i
+                    for i in range(6)
+                    if shard in participants[i]
+                ]
+                assert list(sub.tids) == expected
+                assert signer.verify(sub.header_bytes(), sub.signature)
+                if prev[shard] is not None:
+                    assert sub.prev_hash == prev[shard]
+                prev[shard] = sub.hash
+
+    def test_cross_shard_txn_appears_on_every_participant(self):
+        block = self._global_block(4)
+        sequencer = ShardSequencer(2)
+        subs = sequencer.split(
+            block, [frozenset({0}), frozenset({0, 1}), frozenset({1}), frozenset({0, 1})]
+        )
+        assert list(subs[0].tids) == [block.first_tid, block.first_tid + 1, block.first_tid + 3]
+        assert list(subs[1].tids) == [block.first_tid + 1, block.first_tid + 2, block.first_tid + 3]
+
+    def test_empty_sub_blocks_still_chain(self):
+        block = self._global_block(2)
+        sequencer = ShardSequencer(2)
+        subs = sequencer.split(block, [frozenset({0}), frozenset({0})])
+        assert subs[1].size == 0 and subs[1].tids == ()
+
+    def test_assignment_length_mismatch_rejected(self):
+        block = self._global_block(3)
+        with pytest.raises(ValueError):
+            ShardSequencer(2).split(block, [frozenset({0})])
+
+
+# ----------------------------------------------------------------------- 2pc
+class TestTwoPhaseCommit:
+    def test_decide_is_all_yes(self):
+        votes = [
+            ShardVote(7, 0, True),
+            ShardVote(7, 1, False, reason="waw"),
+            ShardVote(8, 0, True),
+            ShardVote(8, 2, True),
+        ]
+        assert decide(votes) == frozenset({7})
+
+    def test_certificate_chain_verifies_and_detects_tampering(self):
+        log = CertificateLog()
+        log.append([ShardVote(1, 0, True), ShardVote(1, 1, False)], block_id=0)
+        log.append([ShardVote(5, 0, True)], block_id=1)
+        assert log.verify_chain()
+        tampered = make_certificate(2, [ShardVote(9, 0, False)], log.head_hash)
+        tampered.abort_tids = frozenset()  # decision no longer matches votes
+        log._certs.append(tampered)
+        assert not log.verify_chain()
+
+
+# ----------------------------------------------------- single-shard identity
+class TestSingleShardIdentity:
+    @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+    @pytest.mark.parametrize("system", ("harmony", "aria", "rbc", "serial"))
+    def test_decision_identical_to_unsharded(self, system, workload_name):
+        oe = OEBlockchain(oe_config(system), WORKLOADS[workload_name]())
+        oe_metrics = oe.run()
+        sharded = ShardedBlockchain(
+            shard_config(system, num_shards=1), WORKLOADS[workload_name]()
+        )
+        shard_metrics = sharded.run()
+        assert (
+            shard_metrics.extra["decision_digest"]
+            == oe_metrics.extra["decision_digest"]
+        )
+        assert shard_metrics.extra["state_hash"] == oe_metrics.extra["state_hash"]
+        assert shard_metrics.committed == oe_metrics.committed
+        assert shard_metrics.aborted == oe_metrics.aborted
+        assert shard_metrics.false_aborts == oe_metrics.false_aborts
+        assert shard_metrics.extra["cross_shard_txns"] == 0
+
+
+# --------------------------------------------------------- cross-shard commit
+def run_sharded(
+    system="harmony",
+    workload_name="smallbank",
+    num_shards=4,
+    cross=0.4,
+    **overrides,
+):
+    workload = WORKLOADS[workload_name](ShardAffinity(num_shards, cross))
+    config = shard_config(
+        system, num_shards=num_shards, keep_history=True, **overrides
+    )
+    chain = ShardedBlockchain(config, workload)
+    metrics = chain.run()
+    return chain, metrics
+
+
+class TestCrossShardCommit:
+    def test_zero_cross_ratio_yields_single_shard_txns(self):
+        chain, metrics = run_sharded(cross=0.0)
+        assert metrics.extra["cross_shard_txns"] == 0
+        assert metrics.extra["ledger_ok"] and metrics.extra["certificates_ok"]
+
+    def test_cross_ratio_generates_cross_shard_txns(self):
+        _chain, metrics = run_sharded(cross=0.8)
+        assert metrics.extra["cross_shard_txns"] > 0
+
+    def test_statuses_consistent_across_participants(self):
+        """2PC atomicity: every copy of a cross-shard transaction reaches
+        the same commit/abort decision, and a veto is visible as a
+        CROSS_SHARD_ABORT on shards whose local vote was commit."""
+        chain, metrics = run_sharded(cross=0.8, num_blocks=6)
+        saw_cross = saw_veto = 0
+        for record in chain.history:
+            for j, participants in enumerate(record.participants):
+                if len(participants) <= 1:
+                    continue
+                saw_cross += 1
+                tid = record.merged_txns[j].tid
+                copies = [
+                    next(t for t in record.executions[s].txns if t.tid == tid)
+                    for s in sorted(participants)
+                ]
+                statuses = {t.status for t in copies}
+                assert len(statuses) == 1, f"tid {tid} diverged: {statuses}"
+                if any(
+                    t.abort_reason is AbortReason.CROSS_SHARD_ABORT for t in copies
+                ):
+                    saw_veto += 1
+                    assert all(t.aborted for t in copies)
+        assert saw_cross > 0
+        assert metrics.extra["certificates_ok"]
+
+    def test_vetoed_writes_never_reach_any_store(self):
+        """A globally aborted transaction's writes are absent everywhere:
+        replaying only the committed decisions reproduces each shard's
+        state (the consistency check replays blocks + certificates)."""
+        chain, _metrics = run_sharded(cross=0.8, num_blocks=6)
+        assert any(cert.abort_tids for cert in chain.cert_log.certificates())
+        assert chain.consistency_check()
+
+    @pytest.mark.parametrize("system", ("harmony", "aria", "rbc"))
+    def test_replica_replay_matches_for_every_system(self, system):
+        chain, metrics = run_sharded(system=system, cross=0.5)
+        assert metrics.extra["ledger_ok"] and metrics.extra["certificates_ok"]
+        assert chain.consistency_check()
+
+    def test_serial_rejects_multi_shard(self):
+        with pytest.raises(ValueError):
+            ShardedBlockchain(
+                shard_config("serial", num_shards=2), WORKLOADS["ycsb"]()
+            )
+
+    def test_cross_shard_history_serializable_per_oracle(self):
+        """Feed the merged committed history (chains from each owning
+        shard) to the history oracle — indexed and naive must agree and
+        both must certify serializability."""
+        for workload_name in ("ycsb", "smallbank"):
+            chain, _metrics = run_sharded(
+                workload_name=workload_name, cross=0.6, num_blocks=6
+            )
+            oracles = [HistoryOracle(indexed=True), HistoryOracle(indexed=False)]
+            for record in chain.history:
+                key_applies = [
+                    item
+                    for shard in sorted(record.executions)
+                    for item in record.executions[shard].key_applies
+                ]
+                snapshot_id = record.executions[0].snapshot_block_id
+                for oracle in oracles:
+                    oracle.record_block(
+                        record.block_id,
+                        record.merged_txns,
+                        key_applies,
+                        snapshot_block_id=snapshot_id,
+                    )
+            indexed, naive = oracles
+            assert indexed.build_graph() == naive.build_graph()
+            assert indexed.is_serializable() and naive.is_serializable()
+
+    def test_throughput_scales_with_shards_at_low_contention(self):
+        def run(num_shards):
+            workload = YCSBWorkload(
+                num_keys=4_000, theta=0.1, affinity=ShardAffinity(4, 0.05)
+            )
+            config = ShardConfig(
+                system="harmony",
+                block_size=60,
+                num_blocks=6,
+                seed=13,
+                num_shards=num_shards,
+            )
+            return ShardedBlockchain(config, workload).run()
+
+        one, four = run(1), run(4)
+        assert four.throughput_tps >= 2.0 * one.throughput_tps

@@ -9,10 +9,15 @@ Usage::
     python -m repro.bench --perf-smoke        # same, seconds not minutes
     python -m repro.bench --perf-smoke --check  # also fail (exit 1) when
                                                 # any case's speedup < 1.0
+    python -m repro.bench --compare [out.json]  # diff the last two same-mode
+                                                # runs; exit 1 on a >20%
+                                                # per-case speedup collapse
 """
 
 from __future__ import annotations
 
+import json
+import os
 import sys
 import time
 
@@ -21,6 +26,29 @@ from repro.bench.report import render
 
 
 def main(argv: list[str]) -> int:
+    if argv and argv[0] == "--compare":
+        from repro.bench.perf import DEFAULT_OUT, compare_last_runs
+
+        path = (
+            argv[1]
+            if len(argv) > 1
+            else os.environ.get("REPRO_BENCH_OUT") or DEFAULT_OUT
+        )
+        try:
+            with open(path, encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read trajectory {path!r}: {exc}")
+            return 2
+        if not isinstance(data, dict):
+            print(f"cannot read trajectory {path!r}: not a trajectory object")
+            return 2
+        history = data.get("runs", [])
+        lines, regressions = compare_last_runs(history)
+        for line in lines:
+            print(line)
+        return 1 if regressions else 0
+
     if argv and argv[0] in {"--perf", "--perf-smoke"}:
         from repro.bench.perf import regressed_cases, render_perf, run_perf
 

@@ -568,6 +568,140 @@ def bench_mvstore_gc(num_keys: int, repeats: int, seed: int) -> dict:
     return _case("mvstore_gc", {"num_keys": num_keys}, naive_s, indexed_s, checks=checks)
 
 
+def bench_checkpoint_delta(
+    num_keys: int, interval_blocks: int, writes_per_block: int, repeats: int, seed: int
+) -> dict:
+    """Per-interval durable checkpoint: the seed's full-state deepcopy
+    (materialize + materialize_at + deepcopy into the manager — O(keyspace)
+    every interval) vs one delta append of the interval's buffered block
+    writes (O(interval writes)). The checks prove the folded chain
+    reconstructs the full snapshot bit-identically — state content *and*
+    key order (recovery derives version tags from dict order), prev_state,
+    and the checkpoint block's exact write list — both straight off the
+    delta and through a base compaction."""
+    from repro.storage.checkpoint import CheckpointManager
+
+    rng = random.Random(seed)
+    genesis = {_key(i): i for i in range(num_keys)}
+    store = MVStore()
+    store.load(genesis)
+    interval: list[tuple[int, list]] = []
+    for block_id in range(interval_blocks):
+        writes = [
+            (_key(rng.randrange(num_keys)), rng.randrange(1000))
+            for _ in range(writes_per_block)
+        ]
+        store.apply_block(block_id, writes)
+        interval.append((block_id, writes))
+    tip = interval_blocks - 1
+    meta = {"prev_records": {}}
+
+    def full_checkpoint(mgr: CheckpointManager) -> None:
+        mgr.force_checkpoint(
+            tip,
+            store.materialize(),
+            prev_state=store.materialize_at(tip - 1),
+            meta=meta,
+            block_writes=interval[-1][1],
+        )
+
+    def delta_manager(base_interval: int = 4) -> CheckpointManager:
+        mgr = CheckpointManager(
+            interval_blocks, incremental=True, base_interval=base_interval
+        )
+        mgr.genesis = genesis
+        return mgr
+
+    full_mgrs = [
+        CheckpointManager(interval_blocks, incremental=False) for _ in range(repeats)
+    ]
+    fit = iter(full_mgrs)
+    naive_s = _time(lambda: full_checkpoint(next(fit)), repeats)
+    delta_mgrs = [delta_manager() for _ in range(repeats)]
+    dit = iter(delta_mgrs)
+    indexed_s = _time(
+        lambda: next(dit).delta_checkpoint(tip, interval, meta=meta), repeats
+    )
+
+    reference = CheckpointManager(interval_blocks, incremental=False)
+    full_checkpoint(reference)
+    ref = reference.latest()
+    folded = delta_mgrs[0].latest()
+    compacted = delta_manager(base_interval=1)  # compacts on the first delta
+    compacted.delta_checkpoint(tip, interval, meta=meta)
+    base = compacted.latest()
+    checks = {
+        "state_equal": folded.state == ref.state,
+        "state_order_equal": list(folded.state) == list(ref.state),
+        "prev_state_equal": folded.prev_state == ref.prev_state,
+        "block_writes_equal": folded.block_writes == ref.block_writes,
+        "compacted_base_equal": base.state == ref.state
+        and base.prev_state == ref.prev_state,
+    }
+    if num_keys >= 100_000:
+        # the ISSUE 5 acceptance bar, gated only at its stated size where
+        # the structural O(keyspace)/O(interval writes) margin (~30x) puts
+        # it far outside wall-clock noise; smoke stays equality-only
+        checks["speedup_5x"] = indexed_s > 0 and naive_s / indexed_s >= 5.0
+    return _case(
+        "checkpoint_delta",
+        {
+            "num_keys": num_keys,
+            "interval_blocks": interval_blocks,
+            "writes_per_block": writes_per_block,
+        },
+        naive_s,
+        indexed_s,
+        checks=checks,
+    )
+
+
+def bench_federated_scan(
+    num_keys: int, num_shards: int, limit: int, repeats: int, seed: int
+) -> dict:
+    """Cross-shard merged range read, consumed up to a limit (the streaming
+    shape: a scan feeding a bounded consumer). The naive path materializes
+    and re-sorts the whole union before the first row comes out; the lazy
+    ``heapq.merge`` pays O(log shards) per row actually consumed. Checks
+    pin full-consumption equality too, so the merge order is the sort
+    order."""
+    from itertools import islice
+
+    from repro.shard.federated import FederatedSnapshot
+    from repro.shard.router import ShardRouter
+
+    router = ShardRouter(num_shards, policy="hash")
+    parts: list[dict] = [{} for _ in range(num_shards)]
+    for i in range(num_keys):
+        key = _key(i)
+        parts[router.shard_of(key)][key] = i
+    stores = []
+    for part in parts:
+        store = MVStore()
+        store.load(part)
+        stores.append(store)
+    snap = FederatedSnapshot(router, stores, block_id=-1)
+    lo, hi = _key(0), _key(num_keys)
+
+    naive_s = _time(
+        lambda: list(islice(snap.scan(lo, hi, indexed=False), limit)), repeats
+    )
+    indexed_s = _time(lambda: list(islice(snap.scan(lo, hi), limit)), repeats)
+    checks = {
+        "rows_equal": list(snap.scan(lo, hi, indexed=False))
+        == list(snap.scan(lo, hi)),
+        "limit_rows_equal": list(islice(snap.scan(lo, hi, indexed=False), limit))
+        == list(islice(snap.scan(lo, hi), limit)),
+    }
+    return _case(
+        "federated_scan",
+        {"num_keys": num_keys, "num_shards": num_shards, "limit": limit},
+        naive_s,
+        indexed_s,
+        checks=checks,
+    )
+
+
 def bench_shard_scaling(smoke: bool, seed: int) -> list[dict]:
     """Shard-scaling scenario: 1/2/4 execution shards over the identical
     low-contention YCSB stream at tunable cross-shard ratios.
@@ -703,11 +837,15 @@ def run_perf(smoke: bool = False, out_path: str | None = None) -> dict:
         cases.append(bench_materialize(20_000, 6, repeats, seed + 10))
         cases.append(bench_false_aborts(100, 900, repeats, seed + 11))
         cases.append(bench_mvstore_gc(50_000, repeats, seed + 12))
+        cases.append(bench_checkpoint_delta(20_000, 10, 200, repeats, seed + 13))
+        cases.append(bench_federated_scan(20_000, 4, 1_024, repeats, seed + 14))
     else:
         cases.append(bench_oracle_build_graph(6, 200, 10_000, repeats, seed + 9))
         cases.append(bench_materialize(scan_keys, 8, repeats, seed + 10))
         cases.append(bench_false_aborts(300, 3_000, repeats, seed + 11))
         cases.append(bench_mvstore_gc(scan_keys, repeats, seed + 12))
+        cases.append(bench_checkpoint_delta(100_000, 10, 500, repeats, seed + 13))
+        cases.append(bench_federated_scan(scan_keys, 4, 2_048, repeats, seed + 14))
     cases.extend(bench_shard_scaling(smoke, seed))
 
     run = {
@@ -740,6 +878,84 @@ def regressed_cases(run: dict) -> list[str]:
         for case in run["cases"]
         if case["speedup"] < 1.0 and case["case"] != "shard_scaling"
     ]
+
+
+def compare_last_runs(
+    history: list[dict], collapse: float = 0.2, floor_s: float = 0.0005
+) -> tuple[list[str], list[str]]:
+    """Diff the newest run against the most recent earlier run of the same
+    mode, per ``(case, params)``.
+
+    Backs ``python -m repro.bench --compare`` — the mechanical form of the
+    ROADMAP's "compare your run's speedups against the previous entries"
+    step. Returns ``(report_lines, regressions)``: a case whose ``speedup``
+    fell by more than ``collapse`` (default 20%) between the two runs has
+    collapsed, which exits non-zero in CLI use. A collapse only counts as
+    a regression when the *indexed* timing itself also rose past the
+    threshold — micro-cases sit at tens of microseconds, where the naive
+    reference speeding up between runs is routine noise; what the gate
+    protects is the production path's wall time, not the ratio's
+    denominator — and by more than ``floor_s`` in absolute terms, because
+    below ~half a millisecond best-of-N ``perf_counter`` deltas on a
+    shared machine cannot distinguish regression from scheduler jitter
+    (every micro-case re-runs at larger sizes where the floor bites).
+    Same-mode runs only, so smoke and full trajectories never
+    cross-contaminate; cases present in just one run are reported but
+    never fail the diff.
+    """
+    if len(history) < 2:
+        return ["need at least two runs in the trajectory to compare"], []
+    newest = history[-1]
+    prev = next(
+        (r for r in reversed(history[:-1]) if r.get("mode") == newest.get("mode")),
+        None,
+    )
+    if prev is None:
+        return [f"no earlier mode={newest.get('mode')!r} run to compare against"], []
+
+    def keyed(run: dict) -> dict:
+        return {
+            (c["case"], json.dumps(c["params"], sort_keys=True)): c
+            for c in run.get("cases", [])
+        }
+
+    prev_cases = keyed(prev)
+    newest_cases = keyed(newest)
+    lines = [
+        f"comparing {newest['mode']} run {newest.get('created_utc', '?')} "
+        f"against {prev.get('created_utc', '?')}"
+    ]
+    regressions: list[str] = []
+    for key, case in prev_cases.items():
+        if key not in newest_cases:
+            params = ",".join(f"{k}={v}" for k, v in case["params"].items())
+            lines.append(f"  GONE      {case['case']}({params}) — dropped from the run")
+    for key, case in newest_cases.items():
+        params = ",".join(f"{k}={v}" for k, v in case["params"].items())
+        label = f"{case['case']}({params})"
+        old = prev_cases.get(key)
+        if old is None:
+            lines.append(f"  NEW       {label} speedup={case['speedup']}")
+            continue
+        old_speedup = old["speedup"]
+        ratio = case["speedup"] / old_speedup if old_speedup else float("inf")
+        collapsed = ratio < 1.0 - collapse
+        if collapsed and "indexed_s" in case and "indexed_s" in old:
+            collapsed = old["indexed_s"] <= 0 or (
+                case["indexed_s"] / old["indexed_s"] > 1.0 + collapse
+                and case["indexed_s"] - old["indexed_s"] > floor_s
+            )
+        flag = "COLLAPSED" if collapsed else " " * 9
+        lines.append(
+            f"  {flag} {label} speedup {old_speedup} -> {case['speedup']}"
+            f" ({ratio:.2f}x)"
+        )
+        if collapsed:
+            regressions.append(
+                f"{label} speedup {old_speedup} -> {case['speedup']},"
+                f" indexed_s {old.get('indexed_s')} -> {case.get('indexed_s')}"
+            )
+    return lines, regressions
 
 
 def _persist(run: dict, out_path: str | None) -> str:

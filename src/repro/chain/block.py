@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.consensus.crypto import sha256_hex
-from repro.txn.transaction import TxnSpec
+from repro.txn.transaction import Txn, TxnSpec
 
 GENESIS_HASH = "0" * 64
 
@@ -61,6 +61,22 @@ class Block:
 
     def compute_hash(self) -> str:
         return sha256_hex(self.header_bytes())
+
+    def build_txns(self) -> list[Txn]:
+        """Instantiate this block's runtime transactions.
+
+        SOV blocks return their endorsed transactions (rw-sets travel with
+        the block); OE blocks build fresh records under their global TIDs.
+        The single source for live ingestion and recovery replay — the two
+        must never instantiate differently, or a recovered replica replays
+        different transactions than the live ones executed.
+        """
+        if self.endorsed_txns:
+            return self.endorsed_txns
+        return [
+            Txn(tid=self.tid_of(i), block_id=self.block_id, spec=spec)
+            for i, spec in enumerate(self.specs)
+        ]
 
     @property
     def size(self) -> int:

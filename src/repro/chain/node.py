@@ -41,15 +41,17 @@ class ReplicaNode:
 
         self.ledger.append(block)  # raises TamperError on chain mismatch
         self.engine.log_block_input(block)
+        return block.build_txns(), verify_cost
 
-        if block.endorsed_txns:
-            txns = block.endorsed_txns  # SOV: rw-sets travel with the block
-        else:
-            txns = [
-                Txn(tid=block.tid_of(i), block_id=block.block_id, spec=spec)
-                for i, spec in enumerate(block.specs)
-            ]
-        return txns, verify_cost
+    def clone_executor(self, engine) -> DCCExecutor:
+        """A fresh executor of this node's type and configuration bound to
+        ``engine`` — the recovery path's replica-rebuild hook. Each
+        executor declares its own extra constructor switches via
+        ``clone_args``. Federation hooks (``snapshot_source`` /
+        ``key_scope``) are *not* carried over; sharded recovery rewires
+        them against the recovered store."""
+        executor = self.executor
+        return type(executor)(engine, executor.registry, *executor.clone_args())
 
     def process_block(self, block: Block) -> BlockExecution:
         """Verify, log, execute and append one block."""

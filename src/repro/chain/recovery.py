@@ -2,10 +2,12 @@
 
 HarmonyBC persists the small *input* blocks before execution (logical
 logging) and checkpoints dirty pages every *p* blocks. Recovery loads the
-latest usable checkpoint — the previous one survives a crash mid-checkpoint
-because checkpoints are never overwritten — and re-executes the logged
-blocks after it. Determinism guarantees the replica converges to exactly
-the state it held before the crash, with no ARIES-style redo/undo.
+latest usable checkpoint — reconstructed by folding the delta chain onto
+its base (see :mod:`repro.storage.checkpoint`); the previous recovery
+point survives a crash mid-checkpoint because chain entries are never
+overwritten — and re-executes the logged blocks after it. Determinism
+guarantees the replica converges to exactly the state it held before the
+crash, with no ARIES-style redo/undo.
 
 Under inter-block parallelism the first replayed block simulates against a
 lag-2 snapshot, so checkpoints capture the previous block's state and the
@@ -16,10 +18,86 @@ from __future__ import annotations
 
 from repro.chain.node import ReplicaNode
 from repro.core.harmony import HarmonyExecutor
+from repro.storage.checkpoint import Checkpoint
 from repro.storage.engine import StorageEngine
 from repro.storage.mvstore import TOMBSTONE
 from repro.storage.wal import LogMode
-from repro.txn.transaction import Txn
+
+
+def rebuild_engine(
+    old_engine: StorageEngine,
+) -> tuple[StorageEngine, int, Checkpoint | None]:
+    """Rebuild a storage engine from a crashed engine's durable state.
+
+    Returns ``(engine, replay_from, checkpoint)``: the fresh engine loaded
+    with the newest usable checkpoint (delta chains folded onto their
+    base), the block id replay resumes after, and the checkpoint itself
+    (``None`` when recovery starts from genesis). Shared by single-replica
+    recovery and the sharded drill (:mod:`repro.shard.recovery`).
+    """
+    checkpoint = old_engine.checkpoints.latest()
+
+    engine = StorageEngine(
+        profile=old_engine.profile,
+        pool_pages=old_engine.pool.capacity,
+        log_mode=LogMode.LOGICAL,
+        checkpoint_interval=old_engine.checkpoints.interval_blocks,
+        incremental_checkpoints=old_engine.checkpoints.incremental,
+        checkpoint_base_interval=old_engine.checkpoints.base_interval,
+    )
+    engine.genesis_state = dict(old_engine.genesis_state)
+    engine.checkpoints.genesis = dict(old_engine.genesis_state)
+    if checkpoint is None:
+        # No checkpoint yet: replay the whole chain from genesis state.
+        replay_from = -1
+        engine.preload(old_engine.genesis_state)
+        return engine, replay_from, checkpoint
+
+    replay_from = checkpoint.block_id
+    if checkpoint.prev_state is not None:
+        engine.store.load(checkpoint.prev_state, block_id=-1)
+        if checkpoint.block_writes is not None:
+            # Replay the checkpoint block's recorded writes verbatim:
+            # the version batch (same (block_id, seq) tags, same
+            # TOMBSTONEs) comes out identical to an uncrashed
+            # replica's, which SOV-style version checks rely on. A
+            # state diff cannot do this — it is blind to keys
+            # rewritten with an unchanged value.
+            writes = list(checkpoint.block_writes)
+        else:
+            # Legacy checkpoints without block_writes: diff the two
+            # snapshots. Membership, not .get(): a key born with a
+            # stored-None value between them must enter the delta, or
+            # the recovered replica loses the version an uncrashed
+            # one holds.
+            delta = {
+                key: value
+                for key, value in checkpoint.state.items()
+                if key not in checkpoint.prev_state
+                or checkpoint.prev_state[key] != value
+            }
+            writes = list(delta.items())
+            writes.extend(
+                (key, TOMBSTONE)
+                for key in checkpoint.prev_state
+                if key not in checkpoint.state
+            )
+        # fast-forward version history so the replayed blocks see both
+        # snapshot(block-1) and snapshot(block)
+        engine.store.last_committed_block = checkpoint.block_id - 1
+        engine.store.apply_block(checkpoint.block_id, writes)
+    else:
+        engine.store.load(checkpoint.state, block_id=checkpoint.block_id)
+        engine.store.last_committed_block = checkpoint.block_id
+    if engine.checkpoints.incremental:
+        # Restart the delta chain from the recovery point: the first
+        # post-recovery deltas cover only replayed blocks, so they must
+        # fold onto this base, not onto genesis.
+        engine.checkpoints.seed_base(checkpoint)
+    for key in engine.store.keys():
+        engine.heap.insert(key)
+    engine.reset_stats()
+    return engine, replay_from, checkpoint
 
 
 def recover_node(crashed: ReplicaNode, executor_factory=None) -> ReplicaNode:
@@ -28,66 +106,13 @@ def recover_node(crashed: ReplicaNode, executor_factory=None) -> ReplicaNode:
     ``executor_factory(engine, registry) -> DCCExecutor`` defaults to
     cloning the crashed node's executor type and configuration.
     """
-    old_engine = crashed.engine
-    checkpoint = old_engine.checkpoints.latest()
-
-    engine = StorageEngine(
-        profile=old_engine.profile,
-        pool_pages=old_engine.pool.capacity,
-        log_mode=LogMode.LOGICAL,
-        checkpoint_interval=old_engine.checkpoints.interval_blocks,
-    )
-    engine.genesis_state = dict(old_engine.genesis_state)
-    if checkpoint is None:
-        # No checkpoint yet: replay the whole chain from genesis state.
-        replay_from = -1
-        engine.preload(old_engine.genesis_state)
-    else:
-        replay_from = checkpoint.block_id
-        if checkpoint.prev_state is not None:
-            engine.store.load(checkpoint.prev_state, block_id=-1)
-            if checkpoint.block_writes is not None:
-                # Replay the checkpoint block's recorded writes verbatim:
-                # the version batch (same (block_id, seq) tags, same
-                # TOMBSTONEs) comes out identical to an uncrashed
-                # replica's, which SOV-style version checks rely on. A
-                # state diff cannot do this — it is blind to keys
-                # rewritten with an unchanged value.
-                writes = list(checkpoint.block_writes)
-            else:
-                # Legacy checkpoints without block_writes: diff the two
-                # snapshots. Membership, not .get(): a key born with a
-                # stored-None value between them must enter the delta, or
-                # the recovered replica loses the version an uncrashed
-                # one holds.
-                delta = {
-                    key: value
-                    for key, value in checkpoint.state.items()
-                    if key not in checkpoint.prev_state
-                    or checkpoint.prev_state[key] != value
-                }
-                writes = list(delta.items())
-                writes.extend(
-                    (key, TOMBSTONE)
-                    for key in checkpoint.prev_state
-                    if key not in checkpoint.state
-                )
-            # fast-forward version history so the replayed blocks see both
-            # snapshot(block-1) and snapshot(block)
-            engine.store.last_committed_block = checkpoint.block_id - 1
-            engine.store.apply_block(checkpoint.block_id, writes)
-        else:
-            engine.store.load(checkpoint.state, block_id=checkpoint.block_id)
-            engine.store.last_committed_block = checkpoint.block_id
-        for key in engine.store.keys():
-            engine.heap.insert(key)
-        engine.reset_stats()
+    engine, replay_from, checkpoint = rebuild_engine(crashed.engine)
 
     registry = crashed.executor.registry
     if executor_factory is not None:
         executor = executor_factory(engine, registry)
     else:
-        executor = _clone_executor(crashed, engine, registry)
+        executor = crashed.clone_executor(engine)
     if isinstance(executor, HarmonyExecutor) and checkpoint and checkpoint.meta:
         executor.restore_records(checkpoint.meta.get("prev_records", {}))
 
@@ -99,19 +124,5 @@ def recover_node(crashed: ReplicaNode, executor_factory=None) -> ReplicaNode:
         recovered.engine.block_log.append(block)
         if block.block_id <= replay_from:
             continue
-        if block.endorsed_txns:
-            txns = block.endorsed_txns
-        else:
-            txns = [
-                Txn(tid=block.first_tid + i, block_id=block.block_id, spec=spec)
-                for i, spec in enumerate(block.specs)
-            ]
-        executor.execute_block(block.block_id, txns)
+        executor.execute_block(block.block_id, block.build_txns())
     return recovered
-
-
-def _clone_executor(crashed: ReplicaNode, engine: StorageEngine, registry):
-    executor_type = type(crashed.executor)
-    if executor_type is HarmonyExecutor:
-        return HarmonyExecutor(engine, registry, crashed.executor.config)
-    return executor_type(engine, registry)

@@ -73,6 +73,11 @@ class OEConfig:
     profile: StorageProfile = StorageProfile.SSD
     pool_pages: int = 48
     checkpoint_interval: int = 10
+    #: delta-chain the durable checkpoints (False = the seed's full
+    #: deepcopy per interval, kept as the differential reference)
+    checkpoint_incremental: bool = True
+    #: delta checkpoints between base compactions of the chain
+    checkpoint_base_interval: int = 8
     harmony: HarmonyConfig = field(default_factory=HarmonyConfig)
     aria_reordering: bool = True
     seed: int = 7
@@ -149,6 +154,8 @@ class OEBlockchain:
             pool_pages=self.config.pool_pages,
             log_mode=LogMode.LOGICAL,
             checkpoint_interval=self.config.checkpoint_interval,
+            incremental_checkpoints=self.config.checkpoint_incremental,
+            checkpoint_base_interval=self.config.checkpoint_base_interval,
         )
         engine.preload(self.workload.initial_state())
         registry = self.workload.build_registry()

@@ -134,6 +134,9 @@ class HarmonyExecutor(DCCExecutor):
             snapshot_block_id=prepared.snapshot_block_id,
         )
 
+    def clone_args(self) -> tuple:
+        return (self.config,)
+
     def restore_records(self, records: PrevBlockRecords) -> None:
         """Reinstate Rule-3 records after recovery from a checkpoint."""
         self._prev_records = records or PrevBlockRecords()

@@ -54,6 +54,9 @@ class AriaExecutor(DCCExecutor):
         #: testing / benchmarking).
         self.indexed = indexed
 
+    def clone_args(self) -> tuple:
+        return (self.deterministic_reordering, self.indexed)
+
     def prepare_block(self, block_id: int, txns: list[Txn]) -> PreparedBlock:
         """Simulate, reserve and decide — Aria's whole validation phase is
         reservation-table lookups, so the local vote falls out here; writes

@@ -215,6 +215,14 @@ class DCCExecutor:
     def execute_block(self, block_id: int, txns: list[Txn]) -> BlockExecution:
         return self.commit_block(self.prepare_block(block_id, txns))
 
+    def clone_args(self) -> tuple:
+        """Constructor arguments after ``(engine, registry)`` that rebuild
+        this executor with identical configuration — recovery clones a
+        crashed replica's executor onto a fresh engine with
+        ``type(executor)(engine, registry, *executor.clone_args())``.
+        Subclasses with extra switches override."""
+        return ()
+
     # -- shared helpers ------------------------------------------------------
     def snapshot_for(self, block_id: int, lag: int = 1) -> SnapshotView:
         if self.snapshot_source is not None:

@@ -62,6 +62,7 @@ pins on all three workloads.
 """
 
 from repro.shard.federated import FederatedSnapshot
+from repro.shard.recovery import ShardRecovery, recover_shard_node
 from repro.shard.router import ShardRouter
 from repro.shard.system import (
     ShardConfig,
@@ -83,10 +84,12 @@ __all__ = [
     "FederatedSnapshot",
     "ShardConfig",
     "ShardGroup",
+    "ShardRecovery",
     "ShardRouter",
     "ShardVote",
     "ShardedBlockchain",
     "build_sharded_system",
     "decide",
+    "recover_shard_node",
     "make_certificate",
 ]

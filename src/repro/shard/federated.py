@@ -17,6 +17,10 @@ snapshot at the same block height.
 
 from __future__ import annotations
 
+import heapq
+from itertools import chain as _chain, islice
+from operator import itemgetter
+
 from repro.shard.router import ShardRouter
 
 
@@ -34,15 +38,82 @@ class FederatedSnapshot:
     def get_entry(self, key: object):
         return self._views[self._router.shard_of(key)].get_entry(key)
 
-    def scan(self, start: object, end: object):
+    def scan(self, start: object, end: object, indexed: bool = True):
         """Merged range read across every shard's key range.
 
         Each per-shard scan yields sorted rows; the global result is the
-        sorted union (shards own disjoint keys, so no shadowing is needed).
+        sorted union (shards own disjoint keys, so no shadowing is
+        needed). ``indexed=True`` (default) stream-merges the per-shard
+        scans lazily — O(log shards) per row consumed, nothing
+        materialized — so a consumer that stops early (a limit, a missing
+        key probe) never pays for the whole range. ``indexed=False``
+        retains the materialize-and-sort union as the differential
+        reference.
+
+        Mixed-type keys keep the eager path's ``TypeError`` → ``repr``-key
+        fallback: incomparable *heads* are caught up front (the realistic
+        case — each shard's sorted key directory makes it type-homogeneous
+        in practice); a clash surfacing only deeper in the merge degrades
+        to the repr total order for the rows not yet emitted (yielded rows
+        cannot be recalled), still deterministic and complete.
         """
-        rows = [row for view in self._views for row in view.scan(start, end)]
+        if not indexed:
+            rows = [row for view in self._views for row in view.scan(start, end)]
+            try:
+                rows.sort(key=lambda kv: kv[0])
+            except TypeError:
+                rows.sort(key=lambda kv: repr(kv[0]))
+            return iter(rows)
+        streams = []
+        heads = []
+        for view in self._views:
+            rows = view.scan(start, end)
+            try:
+                first = next(rows)
+            except StopIteration:
+                continue
+            heads.append(first[0])
+            streams.append(_chain((first,), rows))
         try:
-            rows.sort(key=lambda kv: kv[0])
+            sorted(heads)  # cross-shard comparability probe
         except TypeError:
+            rows = [row for stream in streams for row in stream]
             rows.sort(key=lambda kv: repr(kv[0]))
-        return iter(rows)
+            return iter(rows)
+        return self._merge_streams(streams, start, end)
+
+    def _merge_streams(self, streams: list, start: object, end: object):
+        """Lazily merge sorted per-shard streams, surviving a deep clash.
+
+        The happy path carries one integer of state per scan; only the
+        rare fallback re-derives the already-emitted prefix (a fresh merge
+        is deterministic, and those first ``yielded`` rows came out once
+        already, so re-producing them cannot raise).
+        """
+        yielded = 0
+        try:
+            for row in heapq.merge(*streams, key=itemgetter(0)):
+                yielded += 1
+                yield row
+        except TypeError:
+            # incomparable keys past the head probe: finish in repr order
+            # (shards own disjoint keys, so the re-derived prefix set
+            # filters exactly)
+            seen = {
+                row[0]
+                for row in islice(
+                    heapq.merge(
+                        *(view.scan(start, end) for view in self._views),
+                        key=itemgetter(0),
+                    ),
+                    yielded,
+                )
+            }
+            rows = [
+                row
+                for view in self._views
+                for row in view.scan(start, end)
+                if row[0] not in seen
+            ]
+            rows.sort(key=lambda kv: repr(kv[0]))
+            yield from rows

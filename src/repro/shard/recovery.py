@@ -1,0 +1,100 @@
+"""Cross-shard crash recovery: rebuild one shard under the certificate stream.
+
+A shard that crashes — even in the 2PC window between casting its prepare
+vote and the certificate landing — recovers from exactly three durable
+artifacts: its checkpoint chain, its logged sub-blocks, and the *global*
+hash-chained certificate stream. It never re-runs the vote exchange: the
+certificates are the decision record, so replaying sub-blocks and
+honouring each block's recorded vetoes reproduces the shard's state
+bit-for-bit (the sharded analogue of single-replica
+:func:`~repro.chain.recovery.recover_node`).
+
+Cross-shard reads during replay resolve against the *peers'* multi-version
+stores at the historical block heights — block-locked advancement means
+those snapshots are globally well-defined, and the version chains retain
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chain.node import ReplicaNode
+from repro.chain.recovery import rebuild_engine
+from repro.chain.system import decision_digest
+from repro.core.harmony import HarmonyExecutor
+from repro.shard.federated import FederatedSnapshot
+from repro.shard.router import ShardRouter
+from repro.shard.twopc import CertificateLog
+
+
+@dataclass
+class ShardRecovery:
+    """The outcome of one shard's crash recovery."""
+
+    node: ReplicaNode
+    #: block id replay resumed after (-1 = replayed from genesis)
+    replay_from: int
+    #: digest of the replayed blocks' commit/abort decisions — comparable
+    #: against an uncrashed replica's decisions over the same block range
+    decision_digest: str
+
+
+def recover_shard_node(
+    crashed: ReplicaNode,
+    shard_id: int,
+    peer_stores: list,
+    router: ShardRouter,
+    cert_log: CertificateLog,
+) -> ShardRecovery:
+    """Rebuild one shard's replica from checkpoint + block log + certificates.
+
+    ``peer_stores`` is the full per-shard store list of a surviving
+    replica group (the crashed shard's slot is replaced by the recovered
+    store); ``cert_log`` is the global certificate stream, indexed by
+    block id.
+    """
+    engine, replay_from, checkpoint = rebuild_engine(crashed.engine)
+    executor = crashed.clone_executor(engine)
+    if isinstance(executor, HarmonyExecutor) and checkpoint and checkpoint.meta:
+        executor.restore_records(checkpoint.meta.get("prev_records", {}))
+
+    # Rewire the federation around the recovered store: reads of this
+    # shard's keys resolve locally (correct at every replay height), remote
+    # keys against the peers' retained version history.
+    stores = list(peer_stores)
+    stores[shard_id] = engine.store
+    if len(stores) > 1:
+        executor.snapshot_source = lambda snap_block_id: FederatedSnapshot(
+            router, stores, snap_block_id
+        )
+        executor.key_scope = lambda key: router.shard_of(key) == shard_id
+
+    recovered = ReplicaNode(f"{crashed.name}-recovered", executor, None)
+    replayed: list[tuple[int, list]] = []
+    for block in crashed.engine.block_log.blocks_after(-1):
+        recovered.ledger.append(block)
+        recovered.engine.block_log.append(block)
+        if block.block_id <= replay_from:
+            continue
+        txns = block.build_txns()
+        if executor.supports_two_phase:
+            certificate = cert_log[block.block_id]
+            if certificate.block_id != block.block_id:
+                # positional lookup relies on the dense 0-based stream; a
+                # pruned or misaligned log must fail loudly, not replay
+                # another block's vetoes
+                raise ValueError(
+                    f"certificate stream misaligned: position {block.block_id} "
+                    f"holds block {certificate.block_id}"
+                )
+            prepared = executor.prepare_block(block.block_id, txns)
+            executor.commit_block(prepared, certificate.abort_tids)
+        else:
+            executor.execute_block(block.block_id, txns)
+        replayed.append((block.block_id, txns))
+    return ShardRecovery(
+        node=recovered,
+        replay_from=replay_from,
+        decision_digest=decision_digest(replayed),
+    )

@@ -86,6 +86,20 @@ class GlobalBlockRecord:
     certificate: object
 
 
+@dataclass
+class GlobalBlockOutcome:
+    """The decision layer's result for one global block."""
+
+    block: object
+    participants: list
+    cross_tids: set
+    sub_blocks: dict
+    certificate: object
+    #: shard -> BlockExecution; crashed shards (``crash_after_prepare``)
+    #: have no entry — they voted but never committed
+    executions: dict
+
+
 class ShardGroup:
     """One replica's full set of shard pipelines (nodes + wiring).
 
@@ -115,6 +129,8 @@ class ShardGroup:
                 pool_pages=config.pool_pages,
                 log_mode=LogMode.LOGICAL,
                 checkpoint_interval=config.checkpoint_interval,
+                incremental_checkpoints=config.checkpoint_incremental,
+                checkpoint_base_interval=config.checkpoint_base_interval,
             )
             engine.preload(shard_states[shard])
             executor = build_executor(config, engine, workload.build_registry())
@@ -140,11 +156,17 @@ class ShardGroup:
             for shard, node in enumerate(self.nodes)
         }
 
-    def finish(self, prepared: dict, abort_tids: frozenset) -> dict:
-        """Phase two on every shard, honouring the certificate's vetoes."""
+    def finish(
+        self, prepared: dict, abort_tids: frozenset, skip: frozenset = frozenset()
+    ) -> dict:
+        """Phase two on every shard, honouring the certificate's vetoes.
+
+        Shards in ``skip`` (crash injection) never commit and get no entry.
+        """
         return {
             shard: node.finish_block(prepared[shard], abort_tids)
             for shard, node in enumerate(self.nodes)
+            if shard not in skip
         }
 
     def state_hashes(self) -> list[str]:
@@ -223,6 +245,58 @@ class ShardedBlockchain:
             self.config.vote_bytes * num_cross_local, self.config.num_shards - 1
         )
 
+    def process_global_block(
+        self, block, crash_after_prepare: frozenset = frozenset()
+    ) -> GlobalBlockOutcome:
+        """Decision layer for one global block: route, split, prepare,
+        exchange votes, certify, commit.
+
+        ``crash_after_prepare`` names shards that fail between their
+        prepare vote and the certificate append (the recovery drill's
+        crash window): their deterministic votes were already cast, the
+        certificate lands in the global stream, but the shard never
+        commits — its block log holds the input block, so recovery replays
+        it under the certificate's recorded decisions.
+        """
+        participants = [
+            self.router.participants_of(self.workload, spec) for spec in block.specs
+        ]
+        self.participants_log.append(participants)
+        cross_tids = {
+            block.first_tid + j
+            for j, shards in enumerate(participants)
+            if len(shards) > 1
+        }
+        sub_blocks = self.sequencer.split(block, participants)
+        prepared = self.group.prepare(sub_blocks)
+
+        # --- ordered vote exchange: prepare outcomes become the block
+        # stream's commit certificate (deterministic all-yes rule).
+        votes: list[ShardVote] = []
+        for shard, prep in prepared.items():
+            for txn in prep.txns:
+                if txn.tid in cross_tids:
+                    votes.append(
+                        ShardVote(
+                            tid=txn.tid,
+                            shard_id=shard,
+                            commit=not txn.aborted,
+                            reason=txn.abort_reason.value if txn.aborted else None,
+                        )
+                    )
+        certificate = self.cert_log.append(votes, block.block_id)
+        executions = self.group.finish(
+            prepared, certificate.abort_tids, skip=crash_after_prepare
+        )
+        return GlobalBlockOutcome(
+            block=block,
+            participants=participants,
+            cross_tids=cross_tids,
+            sub_blocks=sub_blocks,
+            certificate=certificate,
+            executions=executions,
+        )
+
     def run(self) -> RunMetrics:
         config = self.config
         workload = self.workload
@@ -250,36 +324,13 @@ class ShardedBlockchain:
             fresh = workload.generate_block(config.block_size - len(retries), rng)
             block = self.ordering.form_block(retries + fresh)
 
-            participants = [
-                self.router.participants_of(workload, spec) for spec in block.specs
-            ]
-            self.participants_log.append(participants)
-            cross_tids = {
-                block.first_tid + j
-                for j, shards in enumerate(participants)
-                if len(shards) > 1
-            }
+            outcome = self.process_global_block(block)
+            participants = outcome.participants
+            cross_tids = outcome.cross_tids
+            sub_blocks = outcome.sub_blocks
+            certificate = outcome.certificate
+            executions = outcome.executions
             cross_txns_total += len(cross_tids)
-
-            sub_blocks = self.sequencer.split(block, participants)
-            prepared = self.group.prepare(sub_blocks)
-
-            # --- ordered vote exchange: prepare outcomes become the block
-            # stream's commit certificate (deterministic all-yes rule).
-            votes: list[ShardVote] = []
-            for shard, prep in prepared.items():
-                for txn in prep.txns:
-                    if txn.tid in cross_tids:
-                        votes.append(
-                            ShardVote(
-                                tid=txn.tid,
-                                shard_id=shard,
-                                commit=not txn.aborted,
-                                reason=txn.abort_reason.value if txn.aborted else None,
-                            )
-                        )
-            certificate = self.cert_log.append(votes, block.block_id)
-            executions = self.group.finish(prepared, certificate.abort_tids)
             cross_aborted_total += len(certificate.abort_tids)
 
             # --- merged (global) view: one runtime record per transaction,

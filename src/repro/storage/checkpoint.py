@@ -3,18 +3,45 @@
 HarmonyBC persists the small input blocks before execution (logical
 logging) and flushes dirty pages every ``p`` blocks. The previous
 checkpoint is never overwritten, so a crash *during* checkpointing still
-recovers from the one before — we keep the last two, like the paper's use
-of PostgreSQL's multi-versioned storage.
+recovers from the one before — we keep the last two recovery points, like
+the paper's use of PostgreSQL's multi-versioned storage.
+
+Incremental (delta-chain) checkpoints
+-------------------------------------
+Deep-copying the entire materialized state every interval is an
+O(keyspace) stall that dwarfs the write rate it amortizes. Section 4 only
+requires flushing *dirty* state, so the durable record is a **chain**:
+
+- a periodic **base** checkpoint (the full state, compacted every
+  ``base_interval`` intervals by folding the chain — never by re-scanning
+  the live store), and
+- one **delta** per interval: the ordered writes of every block since the
+  previous chain entry (already in hand on the commit path), O(interval
+  writes) to persist instead of O(keyspace).
+
+Recovery folds the deltas onto the newest base to reconstruct ``state`` /
+``prev_state`` / ``block_writes`` bit-identically to a full snapshot, then
+replays the block log as before. The keep-last-two torn-checkpoint
+discipline holds at the *chain* level: pruning always retains the chain
+prefix one recovery point behind the tip, so a crash mid-delta or
+mid-base-compaction falls back to the prior usable prefix.
+``incremental=False`` retains the seed's full-deepcopy path as the
+differential-testing reference.
 """
 
 from __future__ import annotations
 
 import copy
+from bisect import bisect_right
 from dataclasses import dataclass
+
+from repro.storage.mvstore import TOMBSTONE
 
 
 @dataclass
 class Checkpoint:
+    """A full (base) checkpoint: the materialized durable state."""
+
     block_id: int
     state: dict[object, object]
     #: state as of the previous block (needed when the first replayed block
@@ -29,33 +56,108 @@ class Checkpoint:
     block_writes: list[tuple[object, object]] | None = None
 
 
+@dataclass
+class DeltaCheckpoint:
+    """One interval's durable delta: the ordered writes of every block
+    since the previous chain entry, as ``(block_id, writes)`` pairs in
+    block order. O(interval writes) to persist — the incremental
+    alternative to deep-copying the whole materialized state."""
+
+    block_id: int
+    block_writes: list[tuple[int, list[tuple[object, object]]]]
+    meta: dict | None = None
+
+
+def fold_writes(state: dict[object, object], writes) -> None:
+    """Apply one block's ordered writes to a materialized-state dict.
+
+    Mirrors :meth:`MVStore.materialize` semantics exactly: a TOMBSTONE
+    deletes the key, everything else (including a stored ``None``) is a
+    live entry.
+    """
+    for key, value in writes:
+        if value is TOMBSTONE:
+            state.pop(key, None)
+        else:
+            state[key] = value
+
+
+def _sorted_state(state: dict[object, object]) -> dict[object, object]:
+    """Re-key a folded state into sorted-key order.
+
+    :meth:`MVStore.materialize` emits keys in ``_sorted_keys`` order, and
+    recovery's ``store.load`` derives version ``seq`` tags from dict order
+    — so folded states must match the full snapshot's order bit-for-bit.
+    """
+    return dict(sorted(state.items(), key=lambda kv: kv[0]))
+
+
 class BlockLog:
     """Durable record of ordered input blocks, for deterministic replay."""
 
     def __init__(self) -> None:
         self._blocks: list[object] = []
+        self._ids: list[int] = []
 
     def append(self, block: object) -> None:
+        block_id = block.block_id
+        if self._ids and block_id <= self._ids[-1]:
+            # Appends arrive in id order (the ledger's chain check rejects
+            # anything else first); the bisect fast path relies on it.
+            raise ValueError(
+                f"block {block_id} appended after block {self._ids[-1]}"
+            )
         self._blocks.append(block)
+        self._ids.append(block_id)
 
-    def blocks_after(self, block_id: int) -> list[object]:
-        """Blocks with id strictly greater than ``block_id``, in order."""
-        return [b for b in self._blocks if b.block_id > block_id]
+    def blocks_after(self, block_id: int, indexed: bool = True) -> list[object]:
+        """Blocks with id strictly greater than ``block_id``, in order.
+
+        Blocks append in id order, so the cut point is one bisect instead
+        of a full scan per recovery. ``indexed=False`` retains the seed's
+        linear scan as the differential-testing reference.
+        """
+        if not indexed:
+            return [b for b in self._blocks if b.block_id > block_id]
+        return self._blocks[bisect_right(self._ids, block_id):]
 
     def __len__(self) -> int:
         return len(self._blocks)
 
 
 class CheckpointManager:
-    """Keeps the last two durable state checkpoints."""
+    """Keeps the last two durable recovery points.
 
-    def __init__(self, interval_blocks: int = 10) -> None:
+    With ``incremental=True`` (the production default) recovery points
+    live on a base+delta chain; with ``incremental=False`` every
+    checkpoint is a full deep copy, exactly the seed's behaviour.
+    """
+
+    def __init__(
+        self,
+        interval_blocks: int = 10,
+        incremental: bool = True,
+        base_interval: int = 8,
+    ) -> None:
         if interval_blocks < 1:
             raise ValueError("checkpoint interval must be >= 1")
+        if base_interval < 1:
+            raise ValueError("base-compaction cadence must be >= 1")
         self.interval_blocks = interval_blocks
-        self._checkpoints: list[Checkpoint] = []
-        #: Simulates a crash mid-checkpoint: when True, the newest
-        #: checkpoint is considered torn and unusable.
+        self.incremental = incremental
+        #: deltas between base compactions (the chain's maximum length)
+        self.base_interval = base_interval
+        #: the chain: Checkpoint (base) and DeltaCheckpoint entries
+        self._entries: list[Checkpoint | DeltaCheckpoint] = []
+        self._deltas_since_base = 0
+        #: block id of the newest chain entry (-1 = none yet) — the next
+        #: delta must cover exactly the blocks after it
+        self.last_checkpoint_block = -1
+        #: the preloaded genesis state — the implicit base the chain folds
+        #: from until the first compaction (values are never mutated)
+        self.genesis: dict[object, object] = {}
+        #: Simulates a crash mid-checkpoint: when True, the newest chain
+        #: entry (delta or base) is considered torn and unusable.
         self.torn_latest = False
 
     def maybe_checkpoint(
@@ -66,7 +168,7 @@ class CheckpointManager:
         meta: dict | None = None,
         block_writes: list[tuple[object, object]] | None = None,
     ) -> bool:
-        """Take a checkpoint if ``block_id`` hits the interval boundary."""
+        """Take a full checkpoint if ``block_id`` hits the interval boundary."""
         if (block_id + 1) % self.interval_blocks != 0:
             return False
         self.force_checkpoint(block_id, state, prev_state, meta, block_writes)
@@ -80,7 +182,8 @@ class CheckpointManager:
         meta: dict | None = None,
         block_writes: list[tuple[object, object]] | None = None,
     ) -> None:
-        self._checkpoints.append(
+        """Append a full (base) checkpoint — the O(keyspace) deepcopy path."""
+        self._entries.append(
             Checkpoint(
                 block_id,
                 copy.deepcopy(state),
@@ -89,14 +192,125 @@ class CheckpointManager:
                 copy.deepcopy(block_writes) if block_writes is not None else None,
             )
         )
-        if len(self._checkpoints) > 2:
-            del self._checkpoints[:-2]
+        self._deltas_since_base = 0
+        self.last_checkpoint_block = block_id
+        self._prune()
 
+    def delta_checkpoint(
+        self,
+        block_id: int,
+        interval_writes: list[tuple[int, list[tuple[object, object]]]],
+        meta: dict | None = None,
+    ) -> None:
+        """Append one interval's delta; compact a new base when due.
+
+        ``interval_writes`` is the ordered ``(block_id, writes)`` record of
+        every block applied since the previous chain entry, ending with the
+        checkpoint block itself. Only the delta is copied — O(interval
+        writes), never O(keyspace). Every ``base_interval`` deltas the
+        chain is folded into a fresh base so reconstruction and chain
+        length stay bounded; the fold reuses the already-isolated delta
+        copies, so compaction never touches the live store either.
+        """
+        self._entries.append(
+            DeltaCheckpoint(
+                block_id,
+                copy.deepcopy(interval_writes),
+                copy.deepcopy(meta) if meta is not None else None,
+            )
+        )
+        self._deltas_since_base += 1
+        if self._deltas_since_base >= self.base_interval:
+            # Base compaction: fold the chain (not the store) into a full
+            # checkpoint at the same block. The delta stays in the chain —
+            # if the compaction itself tears, the prefix through the delta
+            # recovers the identical state.
+            self._entries.append(self._reconstruct(self._entries))
+            self._deltas_since_base = 0
+        self.last_checkpoint_block = block_id
+        self._prune()
+
+    def seed_base(self, checkpoint: Checkpoint) -> None:
+        """Restart the chain from a reconstructed checkpoint (recovery).
+
+        The recovered engine's first deltas only cover blocks replayed
+        after the recovery point, so they must fold onto this base, not
+        onto genesis.
+        """
+        self._entries = [checkpoint]
+        self._deltas_since_base = 0
+        self.last_checkpoint_block = checkpoint.block_id
+        self.torn_latest = False
+
+    # ------------------------------------------------------------ recovery
     def latest(self) -> Checkpoint | None:
-        """The newest usable checkpoint (skipping a torn one)."""
-        usable = self._checkpoints[:-1] if self.torn_latest else self._checkpoints
-        return usable[-1] if usable else None
+        """The newest usable recovery point (skipping a torn chain tip),
+        reconstructed into a full :class:`Checkpoint`."""
+        entries = self._entries[:-1] if self.torn_latest else self._entries
+        if not entries:
+            return None
+        return self._reconstruct(entries)
+
+    def _reconstruct(self, entries: list) -> Checkpoint:
+        """Fold the chain prefix ``entries`` into a full checkpoint.
+
+        State and prev_state come out in sorted-key order — bit-identical
+        (keys, values, and therefore the version tags recovery derives
+        from dict order) to ``materialize()`` / ``materialize_at()`` of an
+        uncrashed store.
+        """
+        tip = entries[-1]
+        if isinstance(tip, Checkpoint):
+            return tip
+        base_idx = None
+        for i in range(len(entries) - 1, -1, -1):
+            if isinstance(entries[i], Checkpoint):
+                base_idx = i
+                break
+        if base_idx is None:
+            state = dict(self.genesis)
+            deltas = entries
+        else:
+            state = dict(entries[base_idx].state)
+            deltas = entries[base_idx + 1:]
+        prev_state: dict[object, object] | None = None
+        tip_writes: list[tuple[object, object]] = []
+        for delta in deltas:
+            for block_id, writes in delta.block_writes:
+                if block_id == tip.block_id:
+                    prev_state = _sorted_state(state)
+                    tip_writes = writes
+                fold_writes(state, writes)
+        state = _sorted_state(state)
+        if prev_state is None:
+            # Degenerate: the tip block never recorded writes (manual use);
+            # the checkpoint block then installed nothing.
+            prev_state = dict(state)
+        return Checkpoint(
+            tip.block_id,
+            state,
+            prev_state=prev_state,
+            meta=tip.meta,
+            block_writes=list(tip_writes),
+        )
+
+    def _prune(self) -> None:
+        """Keep the last two recovery points, at chain granularity.
+
+        Everything before the newest base that is *not* the chain tip can
+        go: the chains through the tip and through the entry before it both
+        fold from that base. When the tip itself is a freshly compacted
+        base, the previous base (and the deltas between them) must survive
+        until a later entry proves the new base durable.
+        """
+        cut = None
+        for i in range(len(self._entries) - 2, -1, -1):
+            if isinstance(self._entries[i], Checkpoint):
+                cut = i
+                break
+        if cut is not None and cut > 0:
+            del self._entries[:cut]
 
     @property
     def count(self) -> int:
-        return len(self._checkpoints)
+        return len(self._entries)

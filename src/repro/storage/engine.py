@@ -40,6 +40,8 @@ class StorageEngine:
         pool_pages: int = DEFAULT_POOL_PAGES,
         log_mode: LogMode = LogMode.LOGICAL,
         checkpoint_interval: int = 10,
+        incremental_checkpoints: bool = True,
+        checkpoint_base_interval: int = 8,
     ) -> None:
         base = costs or CostModel()
         self.profile = profile
@@ -49,7 +51,11 @@ class StorageEngine:
         self.heap = HeapFile(self.pool, self.costs)
         self.store = MVStore()
         self.wal = WriteAheadLog(self.disk, self.costs, log_mode)
-        self.checkpoints = CheckpointManager(checkpoint_interval)
+        self.checkpoints = CheckpointManager(
+            checkpoint_interval,
+            incremental=incremental_checkpoints,
+            base_interval=checkpoint_base_interval,
+        )
         self.block_log = BlockLog()
         #: initial database state, kept for replay-from-genesis recovery
         self.genesis_state: dict[object, object] = {}
@@ -57,11 +63,19 @@ class StorageEngine:
         #: checkpoint taken right after the apply record them without
         #: rescanning the store's version chains
         self._last_block_writes: tuple[int, list[tuple[object, object]]] | None = None
+        #: ordered (block_id, writes) of every block applied since the last
+        #: checkpoint — the next delta checkpoint's payload (drained there);
+        #: bounded by the checkpoint interval, like the block log segment
+        self._delta_writes: list[tuple[int, list[tuple[object, object]]]] = []
 
     # ------------------------------------------------------------------ load
     def preload(self, items: dict[object, object]) -> None:
         """Bulk-load initial database state without charging runtime stats."""
         self.genesis_state = dict(items)
+        # the implicit base the delta-checkpoint chain folds from (shares
+        # values with genesis_state, which recovery already trusts to be
+        # immutable-in-place)
+        self.checkpoints.genesis = dict(items)
         self.store.load(items)
         for key in items:
             self.heap.insert(key)
@@ -120,6 +134,8 @@ class StorageEngine:
                 cost += self.wal.append("write", (block_id, key))
         self.store.apply_block(block_id, ordered_writes)
         self._last_block_writes = (block_id, ordered_writes)
+        if self.checkpoints.incremental:
+            self._delta_writes.append((block_id, ordered_writes))
         cost += self.wal.group_commit()
         return cost
 
@@ -130,10 +146,39 @@ class StorageEngine:
         return cost
 
     def checkpoint_if_due(self, block_id: int, meta: dict | None = None) -> float:
-        """Flush dirty pages every ``p`` blocks; returns flush cost in us."""
+        """Flush dirty pages every ``p`` blocks; returns flush cost in us.
+
+        On the incremental path the durable record is one *delta* — the
+        interval's buffered per-block writes, O(interval writes) — so no
+        ``materialize`` / deepcopy of the whole keyspace ever runs here.
+        ``incremental_checkpoints=False`` retains the seed's full-snapshot
+        path as the differential reference.
+        """
         if (block_id + 1) % self.checkpoints.interval_blocks != 0:
             return 0.0
         cost = self.pool.flush_all()
+        if self.checkpoints.incremental:
+            buffered = self._delta_writes
+            taken = [entry for entry in buffered if entry[0] <= block_id]
+            self._delta_writes = [entry for entry in buffered if entry[0] > block_id]
+            # Blocks applied without going through engine.apply_block
+            # (tests, manual store pokes) never entered the buffer; the
+            # delta must still cover the *whole* interval since the last
+            # chain entry, so rescan the store for each missing block —
+            # only this degenerate path pays that.
+            have = {entry[0] for entry in taken}
+            missing = [
+                bid
+                for bid in range(self.checkpoints.last_checkpoint_block + 1, block_id + 1)
+                if bid not in have
+            ]
+            if missing:
+                taken.extend(
+                    (bid, self.store.writes_in_block(bid)) for bid in missing
+                )
+                taken.sort(key=lambda entry: entry[0])
+            self.checkpoints.delta_checkpoint(block_id, taken, meta=meta)
+            return cost
         # Every executor checkpoints right after apply_block, so the
         # block's writes are in hand; only a checkpoint of some other
         # block (tests, manual calls) pays the store rescan.

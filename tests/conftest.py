@@ -10,8 +10,8 @@ from repro.txn.procedures import ProcedureRegistry
 from repro.txn.transaction import Txn, TxnSpec
 
 
-def make_engine(num_keys: int = 64, pool_pages: int = 8) -> StorageEngine:
-    engine = StorageEngine(pool_pages=pool_pages)
+def make_engine(num_keys: int = 64, pool_pages: int = 8, **engine_kwargs) -> StorageEngine:
+    engine = StorageEngine(pool_pages=pool_pages, **engine_kwargs)
     engine.preload({("k", i): 100 for i in range(num_keys)})
     return engine
 

@@ -1,4 +1,4 @@
-"""Boundary regression tests for checkpoint materialization.
+"""Boundary regression tests for checkpoint materialization and the chain.
 
 ``MVStore.materialize`` / ``materialize_at`` are the checkpoint hot paths:
 the indexed one-pass streams must be bit-identical to the retained naive
@@ -7,12 +7,22 @@ snapshot lag 2, tombstoned keys — and must distinguish a TOMBSTONE
 (deleted) from a stored ``None`` (a live entry whose version still
 participates in version checks). A brute-force dict replay serves as the
 independent model for both.
+
+The delta-checkpoint chain rides the same contract: every recovery point
+a base+delta chain reconstructs must be bit-identical (content *and* key
+order — recovery derives version tags from dict order) to the full
+deep-copy checkpoint the seed took at the same block, and a chain whose
+tip tears — mid-delta or mid-base-compaction — must recover from the
+prior usable prefix.
 """
 
 from __future__ import annotations
 
+import random
+
 from hypothesis import given, settings, strategies as st
 
+from repro.storage.checkpoint import Checkpoint, CheckpointManager, DeltaCheckpoint
 from repro.storage.mvstore import MVStore, TOMBSTONE
 
 
@@ -129,6 +139,183 @@ class TestFalsyButLive:
         assert _key(0) not in restored
         assert restored.keys() == []
         assert restored.state_hash() == restored.state_hash_full()
+
+
+def _decode(value: int):
+    """-2 encodes a TOMBSTONE, -1 a stored None, >= 0 a plain value."""
+    return TOMBSTONE if value == -2 else (None if value == -1 else value)
+
+
+def _drive_managers(blocks, interval, base_interval, genesis):
+    """Feed identical blocks through a store + both checkpoint flavours.
+
+    Mirrors ``StorageEngine.checkpoint_if_due``: the full manager deep-
+    copies materialized snapshots every interval; the delta manager gets
+    the interval's buffered ``(block_id, writes)``. Returns
+    ``(full_mgr, delta_mgr, store, history)`` where ``history`` records
+    every full checkpoint ever taken (the pruned manager forgets old ones).
+    """
+    store = MVStore()
+    store.load(genesis)
+    full = CheckpointManager(interval, incremental=False)
+    delta = CheckpointManager(interval, incremental=True, base_interval=base_interval)
+    delta.genesis = dict(genesis)
+    buffered: list = []
+    history: list[Checkpoint] = []
+    for block_id, writes in enumerate(blocks):
+        store.apply_block(block_id, writes)
+        buffered.append((block_id, writes))
+        if (block_id + 1) % interval == 0:
+            full.force_checkpoint(
+                block_id,
+                store.materialize(),
+                prev_state=store.materialize_at(block_id - 1),
+                meta={"mark": block_id},
+                block_writes=writes,
+            )
+            history.append(full.latest())
+            delta.delta_checkpoint(block_id, buffered, meta={"mark": block_id})
+            buffered = []
+    return full, delta, store, history
+
+
+def _assert_checkpoints_identical(folded: Checkpoint, ref: Checkpoint):
+    assert folded.block_id == ref.block_id
+    assert folded.state == ref.state
+    assert list(folded.state) == list(ref.state)  # same key order
+    assert folded.prev_state == ref.prev_state
+    assert list(folded.prev_state) == list(ref.prev_state)
+    assert folded.block_writes == ref.block_writes
+    assert folded.meta == ref.meta
+
+
+class TestCheckpointChain:
+    def _blocks(self, num_blocks, num_keys=24, writes_per_block=6, seed=5):
+        rng = random.Random(seed)
+        return [
+            [
+                (_key(rng.randrange(num_keys)), _decode(rng.randint(-2, 50)))
+                for _ in range(writes_per_block)
+            ]
+            for _ in range(num_blocks)
+        ]
+
+    def test_chain_reconstructs_full_checkpoint_at_every_boundary(self):
+        genesis = {_key(i): i for i in range(0, 24, 2)}
+        blocks = self._blocks(12)
+        for upto in range(2, 13, 2):  # every checkpoint boundary
+            full, delta, _, _ = _drive_managers(
+                blocks[:upto], interval=2, base_interval=3, genesis=genesis
+            )
+            _assert_checkpoints_identical(delta.latest(), full.latest())
+
+    def test_torn_delta_recovers_prior_chain_prefix(self):
+        genesis = {_key(i): i for i in range(8)}
+        blocks = self._blocks(8)
+        full, delta, _, _ = _drive_managers(
+            blocks, interval=2, base_interval=10, genesis=genesis
+        )
+        # crash mid-delta: the newest chain entry is a torn delta
+        assert isinstance(delta._entries[-1], DeltaCheckpoint)
+        full.torn_latest = True
+        delta.torn_latest = True
+        _assert_checkpoints_identical(delta.latest(), full.latest())
+        assert delta.latest().block_id == 5  # one interval back
+
+    def test_torn_base_compaction_recovers_same_block(self):
+        genesis = {_key(i): i for i in range(8)}
+        blocks = self._blocks(8)
+        # base_interval=4 → the 4th delta (block 7) compacts: tip is a base
+        full, delta, _, _ = _drive_managers(
+            blocks, interval=2, base_interval=4, genesis=genesis
+        )
+        assert isinstance(delta._entries[-1], Checkpoint)
+        reference = delta.latest()
+        delta.torn_latest = True  # crash mid-compaction
+        recovered = delta.latest()
+        # the prefix through the compaction's own delta reconstructs the
+        # *same* recovery point: a torn compaction loses nothing
+        _assert_checkpoints_identical(recovered, reference)
+        _assert_checkpoints_identical(recovered, full.latest())
+
+    def test_prune_keeps_two_recovery_points_at_chain_level(self):
+        genesis = {_key(i): i for i in range(8)}
+        blocks = self._blocks(20)
+        _, delta, _, _ = _drive_managers(
+            blocks, interval=2, base_interval=3, genesis=genesis
+        )
+        # chain stays bounded: at most one stale base + base_interval
+        # deltas + the fresh base
+        assert delta.count <= delta.base_interval + 3
+        # and the torn-tip fallback always has a usable prefix
+        delta.torn_latest = True
+        assert delta.latest() is not None
+
+    def test_seed_base_restarts_chain_from_recovery_point(self):
+        genesis = {_key(i): i for i in range(8)}
+        blocks = self._blocks(8)
+        full, delta, store, _ = _drive_managers(
+            blocks, interval=2, base_interval=10, genesis=genesis
+        )
+        recovered = CheckpointManager(2, incremental=True, base_interval=10)
+        recovered.seed_base(delta.latest())
+        # post-recovery deltas fold onto the seeded base, not genesis
+        extra = [(_key(1), 999), (_key(30), 7)]
+        store.apply_block(8, [])
+        store.apply_block(9, extra)
+        recovered.delta_checkpoint(9, [(8, []), (9, extra)], meta=None)
+        delta.delta_checkpoint(9, [(8, []), (9, extra)], meta=None)
+        full.force_checkpoint(
+            9,
+            store.materialize(),
+            prev_state=store.materialize_at(8),
+            block_writes=extra,
+        )
+        _assert_checkpoints_identical(recovered.latest(), full.latest())
+        _assert_checkpoints_identical(delta.latest(), full.latest())
+
+
+class TestCheckpointChainDifferential:
+    @given(
+        st.lists(  # blocks of (key index, encoded value) writes
+            st.lists(
+                st.tuples(st.integers(0, 20), st.integers(-2, 50)),
+                min_size=0,
+                max_size=5,
+            ),
+            min_size=2,
+            max_size=14,
+        ),
+        st.integers(1, 3),  # checkpoint interval
+        st.integers(1, 4),  # base-compaction cadence
+        st.booleans(),  # torn chain tip
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_chain_matches_full_checkpoints(self, blocks, interval, base, torn):
+        genesis = {_key(i): i for i in range(0, 20, 3)}
+        ordered = [[(_key(i), _decode(v)) for i, v in writes] for writes in blocks]
+        full, delta, _, history = _drive_managers(
+            ordered, interval=interval, base_interval=base, genesis=genesis
+        )
+        if not history:
+            assert delta.latest() is None
+            return
+        delta.torn_latest = torn
+        folded = delta.latest()
+        if not torn:
+            expected = history[-1]
+        elif isinstance(delta._entries[-1], Checkpoint):
+            # a torn base-compaction loses nothing: the chain prefix
+            # through the compaction's own delta reconstructs the same
+            # recovery point — unlike a torn full checkpoint, which steps
+            # a whole interval back
+            expected = history[-1]
+        else:
+            expected = history[-2] if len(history) >= 2 else None
+        if expected is None:
+            assert folded is None
+            return
+        _assert_checkpoints_identical(folded, expected)
 
 
 class TestMaterializeDifferential:

@@ -146,3 +146,122 @@ class TestRule2VsTopologicalSort:
             ordered = sorted(updaters, key=lambda t: (t.min_out, t.tid))
             positions = [global_order[t.tid] for t in ordered]
             assert positions == sorted(positions)
+
+
+class TestCompareTooling:
+    """`python -m repro.bench --compare`: mechanical trajectory diffing."""
+
+    @staticmethod
+    def _run(mode, created, cases):
+        return {
+            "bench": "perf",
+            "mode": mode,
+            "created_utc": created,
+            "cases": [
+                {
+                    "case": name,
+                    "params": params,
+                    "speedup": speedup,
+                    "indexed_s": indexed_s,
+                    "checks": {},
+                }
+                for name, params, speedup, indexed_s in cases
+            ],
+        }
+
+    def test_detects_speedup_collapse(self):
+        from repro.bench.perf import compare_last_runs
+
+        history = [
+            self._run("full", "t0", [("validation", {"n": 1}, 6.0, 0.010),
+                                     ("mvstore_gc", {"n": 2}, 10.0, 0.008)]),
+            self._run("full", "t1", [("validation", {"n": 1}, 5.9, 0.010),
+                                     ("mvstore_gc", {"n": 2}, 4.0, 0.020)]),
+        ]
+        lines, regressions = compare_last_runs(history)
+        assert len(regressions) == 1
+        assert "mvstore_gc" in regressions[0]
+        assert any("COLLAPSED" in line for line in lines)
+
+    def test_within_threshold_passes(self):
+        from repro.bench.perf import compare_last_runs
+
+        history = [
+            self._run("full", "t0", [("validation", {"n": 1}, 5.0, 0.010)]),
+            self._run("full", "t1", [("validation", {"n": 1}, 4.2, 0.011)]),  # -16%
+        ]
+        _lines, regressions = compare_last_runs(history)
+        assert regressions == []
+
+    def test_faster_naive_reference_alone_is_noise_not_regression(self):
+        """A speedup collapse caused purely by the naive denominator
+        speeding up (micro-case timing noise) must not fail the diff —
+        the gate protects the indexed path's wall time."""
+        from repro.bench.perf import compare_last_runs
+
+        history = [
+            self._run("full", "t0", [("aria_range_check", {"n": 1}, 9.3, 0.000039)]),
+            self._run("full", "t1", [("aria_range_check", {"n": 1}, 6.4, 0.000040)]),
+        ]
+        _lines, regressions = compare_last_runs(history)
+        assert regressions == []
+
+    def test_compares_same_mode_only_and_ignores_new_cases(self):
+        from repro.bench.perf import compare_last_runs
+
+        history = [
+            self._run("full", "t0", [("validation", {"n": 1}, 8.0, 0.01)]),
+            self._run("smoke", "t1", [("validation", {"n": 9}, 2.0, 0.01)]),
+            self._run("full", "t2", [("validation", {"n": 1}, 7.8, 0.01),
+                                     ("brand_new", {"n": 3}, 1.1, 0.01)]),
+        ]
+        lines, regressions = compare_last_runs(history)
+        assert regressions == []
+        assert any("t0" in line for line in lines)  # diffed against the full run
+        assert any("NEW" in line for line in lines)
+
+    def test_single_run_or_unmatched_mode_is_not_a_failure(self):
+        from repro.bench.perf import compare_last_runs
+
+        assert compare_last_runs([self._run("full", "t0", [])])[1] == []
+        history = [
+            self._run("smoke", "t0", [("validation", {"n": 1}, 2.0, 0.01)]),
+            self._run("full", "t1", [("validation", {"n": 1}, 8.0, 0.01)]),
+        ]
+        assert compare_last_runs(history)[1] == []
+
+    def test_cli_exit_codes(self, tmp_path):
+        import json
+
+        from repro.bench.__main__ import main
+
+        path = tmp_path / "BENCH_perf.json"
+        good = [
+            self._run("full", "t0", [("validation", {"n": 1}, 6.0, 0.01)]),
+            self._run("full", "t1", [("validation", {"n": 1}, 6.2, 0.01)]),
+        ]
+        path.write_text(json.dumps({"schema": 1, "runs": good}))
+        assert main(["--compare", str(path)]) == 0
+
+        bad = good[:1] + [
+            self._run("full", "t1", [("validation", {"n": 1}, 1.5, 0.04)])
+        ]
+        path.write_text(json.dumps({"schema": 1, "runs": bad}))
+        assert main(["--compare", str(path)]) == 1
+        assert main(["--compare", str(tmp_path / "missing.json")]) == 2
+
+    def test_sub_millisecond_jitter_is_below_the_noise_floor(self):
+        """A micro-case's indexed timing moving by tens of microseconds is
+        scheduler jitter, not a regression — the absolute floor absorbs
+        it; the same path regressing at a measurable size still fails."""
+        from repro.bench.perf import compare_last_runs
+
+        history = [
+            self._run("full", "t0", [("aria_range_check", {"n": 25}, 9.3, 0.000039),
+                                     ("aria_range_check", {"n": 400}, 12.5, 0.0010)]),
+            self._run("full", "t1", [("aria_range_check", {"n": 25}, 5.9, 0.000050),
+                                     ("aria_range_check", {"n": 400}, 8.0, 0.0019)]),
+        ]
+        _lines, regressions = compare_last_runs(history)
+        assert len(regressions) == 1
+        assert "n=400" in regressions[0]

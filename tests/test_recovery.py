@@ -36,8 +36,8 @@ def sov_block(engine, ordering, block_id, ops_lists):
     return block
 
 
-def build_node(checkpoint_interval=3, inter_block=False) -> ReplicaNode:
-    engine = make_engine()
+def build_node(checkpoint_interval=3, inter_block=False, **engine_kwargs) -> ReplicaNode:
+    engine = make_engine(**engine_kwargs)
     engine.checkpoints.interval_blocks = checkpoint_interval
     executor = HarmonyExecutor(
         engine,
@@ -115,7 +115,10 @@ class TestRecovery:
         an uncrashed replica's version checks still see."""
         from repro.dcc.fabric import FabricValidator
 
-        engine = make_engine()
+        # full (non-incremental) checkpoints: the legacy branch below
+        # mutates the stored Checkpoint object, which only exists on the
+        # deep-copy path (delta chains reconstruct a fresh one per call)
+        engine = make_engine(incremental_checkpoints=False)
         engine.checkpoints.interval_blocks = 2
         node = ReplicaNode("r0", FabricValidator(engine, generic_registry()), None)
         ordering = OrderingService()
@@ -178,6 +181,25 @@ class TestRecovery:
         assert all(t.committed for t in block.endorsed_txns)
         assert recovered.state_hash() == node.state_hash()
 
+    def test_torn_base_compaction_recovers_without_losing_an_interval(self):
+        """A crash mid-base-compaction leaves the chain prefix through the
+        compaction's own delta intact — recovery lands at the *same* block
+        (the full-checkpoint scheme would step a whole interval back)."""
+        node = build_node(
+            checkpoint_interval=2,
+            incremental_checkpoints=True,
+            checkpoint_base_interval=2,
+        )
+        feed_blocks(node, 8)  # checkpoints at 1,3,5,7; compactions at 3 and 7
+        from repro.storage.checkpoint import Checkpoint
+
+        assert isinstance(node.engine.checkpoints._entries[-1], Checkpoint)
+        before = node.engine.checkpoints.latest().block_id
+        node.engine.checkpoints.torn_latest = True  # crash mid-compaction
+        assert node.engine.checkpoints.latest().block_id == before
+        recovered = recover_node(node)
+        assert recovered.state_hash() == node.state_hash()
+
     def test_logical_log_smaller_than_physical(self):
         """Section 2.4: deterministic replay needs only input blocks."""
         node = build_node()
@@ -186,3 +208,107 @@ class TestRecovery:
 
         assert node.engine.wal.mode is LogMode.LOGICAL
         assert node.engine.wal.stats.bytes < 6 * 3 * 640  # << physical rwsets
+
+
+# --------------------------------------------------------------------------
+# Incremental (delta-chain) vs full-checkpoint recovery: bit-identical.
+# --------------------------------------------------------------------------
+def _scheme_builders():
+    from repro.dcc.aria import AriaExecutor
+    from repro.dcc.fabric import FabricValidator
+    from repro.dcc.fastfabric import FastFabricValidator
+    from repro.dcc.rbc import RBCExecutor
+    from repro.dcc.serial import SerialExecutor
+
+    return {
+        "harmony": lambda e, r: HarmonyExecutor(e, r, HarmonyConfig(inter_block=True)),
+        "aria": lambda e, r: AriaExecutor(e, r),
+        "rbc": lambda e, r: RBCExecutor(e, r),
+        "serial": lambda e, r: SerialExecutor(e, r),
+        "fabric": lambda e, r: FabricValidator(e, r),
+        "fastfabric": lambda e, r: FastFabricValidator(e, r),
+    }
+
+
+def _feed_scheme(
+    scheme: str, incremental: bool, num_blocks=8, base_interval=2
+) -> ReplicaNode:
+    """One replica of ``scheme`` fed a deterministic block stream.
+
+    Each call regenerates the identical stream (own ordering service, same
+    specs), so two calls differing only in the checkpoint flavour yield
+    replicas whose durable state must recover identically. The default
+    ``base_interval=2`` exercises a base compaction mid-stream.
+    """
+    from repro.storage.engine import StorageEngine
+
+    engine = StorageEngine(
+        pool_pages=8,
+        checkpoint_interval=3,
+        incremental_checkpoints=incremental,
+        checkpoint_base_interval=base_interval,
+    )
+    engine.preload({("k", i): 100 for i in range(24)})
+    node = ReplicaNode("r0", _scheme_builders()[scheme](engine, generic_registry()), None)
+    ordering = OrderingService()
+    for i in range(num_blocks):
+        ops_lists = [
+            [("add", i % 4, 1)],
+            [("r", i % 4), ("set", 10 + (i % 3), i)],
+            [("rmw", 5, 2)],
+        ]
+        if scheme in ("fabric", "fastfabric"):
+            block = sov_block(engine, ordering, i, ops_lists)
+        else:
+            block = ordering.form_block([spec(ops) for ops in ops_lists])
+        node.process_block(block)
+    return node
+
+
+class TestIncrementalRecoveryDifferential:
+    """ISSUE 5 acceptance: recovery from a base+delta chain must be
+    bit-identical — version chains, key directory, state hash — to
+    recovery from the retained full-deepcopy checkpoints, per scheme."""
+
+    import pytest as _pytest
+
+    @_pytest.mark.parametrize(
+        "scheme", ["harmony", "aria", "rbc", "serial", "fabric", "fastfabric"]
+    )
+    def test_delta_chain_recovery_bit_identical_to_full(self, scheme):
+        node_full = _feed_scheme(scheme, incremental=False)
+        node_delta = _feed_scheme(scheme, incremental=True)
+        assert node_delta.state_hash() == node_full.state_hash()  # same runs
+
+        rec_full = recover_node(node_full)
+        rec_delta = recover_node(node_delta)
+        full_store = rec_full.engine.store
+        delta_store = rec_delta.engine.store
+        assert delta_store._versions == full_store._versions
+        assert delta_store._sorted_keys == full_store._sorted_keys
+        assert delta_store.last_committed_block == full_store.last_committed_block
+        assert (
+            rec_delta.state_hash() == rec_full.state_hash() == node_full.state_hash()
+        )
+        # the delta-mode recovery reseeds its chain at the same boundary
+        # the crashed replicas checkpointed (the full path keeps the seed's
+        # empty-manager behaviour and re-checkpoints on replay intervals)
+        assert (
+            rec_delta.engine.checkpoints.latest().block_id
+            == node_full.engine.checkpoints.latest().block_id
+        )
+
+    @_pytest.mark.parametrize("scheme", ["harmony", "rbc", "fabric"])
+    def test_torn_chain_recovery_matches_torn_full(self, scheme):
+        """With the newest recovery point torn on both sides (a delta tip
+        here — base_interval exceeds the number of checkpoints, so the
+        chain never compacted), the fallback prefix must also recover
+        bit-identically to the full scheme's fallback."""
+        node_full = _feed_scheme(scheme, incremental=False)
+        node_delta = _feed_scheme(scheme, incremental=True, base_interval=99)
+        for node in (node_full, node_delta):
+            node.engine.checkpoints.torn_latest = True
+        rec_full = recover_node(node_full)
+        rec_delta = recover_node(node_delta)
+        assert rec_delta.engine.store._versions == rec_full.engine.store._versions
+        assert rec_delta.state_hash() == rec_full.state_hash() == node_full.state_hash()

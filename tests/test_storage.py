@@ -205,6 +205,35 @@ class TestBlockLog:
         assert [b.block_id for b in log.blocks_after(2)] == [3, 4]
         assert len(log) == 5
 
+    def test_blocks_after_bisect_matches_naive_scan(self):
+        """The bisect cut point must agree with the seed's linear scan on
+        every boundary, including gapped id sequences (sharded sub-block
+        logs skip nothing, but the contract shouldn't depend on that)."""
+
+        class FakeBlock:
+            def __init__(self, block_id):
+                self.block_id = block_id
+
+        log = BlockLog()
+        for block_id in (0, 1, 2, 5, 6, 9):
+            log.append(FakeBlock(block_id))
+        for cut in range(-2, 11):
+            fast = log.blocks_after(cut)
+            naive = log.blocks_after(cut, indexed=False)
+            assert fast == naive, f"cut={cut}"
+
+    def test_out_of_order_append_rejected(self):
+        class FakeBlock:
+            def __init__(self, block_id):
+                self.block_id = block_id
+
+        log = BlockLog()
+        log.append(FakeBlock(3))
+        with pytest.raises(ValueError):
+            log.append(FakeBlock(3))
+        with pytest.raises(ValueError):
+            log.append(FakeBlock(1))
+
 
 class TestStorageEngine:
     def test_profiles_change_costs(self):
@@ -247,3 +276,24 @@ class TestStorageEngine:
         assert cp is not None and cp.block_id == 1
         assert cp.state["a"] == 3
         assert cp.prev_state["a"] == 2
+
+    def test_incremental_checkpoint_covers_unbuffered_blocks(self):
+        """Blocks applied behind the engine's back (directly on the store)
+        never enter the delta buffer — the checkpoint must rescan them, or
+        the folded state silently diverges from the full snapshot."""
+        engine = StorageEngine(checkpoint_interval=2, incremental_checkpoints=True)
+        engine.preload({"a": 1})
+        engine.store.apply_block(0, [("a", 10)])  # bypasses the buffer
+        engine.store.apply_block(1, [("b", 20)])
+        engine.checkpoint_if_due(1)
+        cp = engine.checkpoints.latest()
+        assert cp.block_id == 1
+        assert cp.state == engine.store.materialize()
+        assert cp.prev_state == engine.store.materialize_at(0)
+        # a buffered and an unbuffered block in one interval also folds right
+        engine.apply_block(2, [("a", 30)])
+        engine.store.apply_block(3, [("c", 40)])
+        engine.checkpoint_if_due(3)
+        cp = engine.checkpoints.latest()
+        assert cp.state == engine.store.materialize()
+        assert cp.prev_state == engine.store.materialize_at(2)

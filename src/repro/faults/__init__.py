@@ -1,0 +1,67 @@
+"""Deterministic fault injection: plans, injection, supervision, drills.
+
+The robustness subsystem (ISSUE 6). Declarative, seeded
+:class:`~repro.faults.plan.FaultPlan` schedules replace the hand-rolled
+crash flags; :class:`~repro.faults.inject.FaultInjector` arms them into
+the pipeline's zero-cost hooks;
+:class:`~repro.faults.supervisor.SupervisedShardGroup` detects failures,
+replays recovery, re-joins shards and retries the vote exchange under a
+deterministic :class:`~repro.faults.supervisor.RetryPolicy`; and
+:func:`~repro.faults.drill.run_drill` proves each faulted run
+bit-identical to an undisturbed reference. ``python -m repro.faults``
+runs the drill matrix from the command line.
+"""
+
+from repro.faults.drill import (
+    DRILL_SCHEMES,
+    DRILL_SHARD_COUNTS,
+    SMOKE_PLAN_NAMES,
+    DrillResult,
+    drill_matrix,
+    run_drill,
+)
+from repro.faults.inject import FaultInjector, FaultyVoteChannel
+from repro.faults.plan import (
+    ALL_KINDS,
+    CRASH_AFTER_COMMIT,
+    CRASH_AFTER_PREPARE,
+    CRASH_BEFORE_PREPARE,
+    CRASH_KINDS,
+    PARTITION,
+    VOTE_DELAY,
+    VOTE_DROP,
+    VOTE_DUPLICATE,
+    VOTE_KINDS,
+    FaultEvent,
+    FaultPlan,
+    generate_chaos_plan,
+    standard_plans,
+)
+from repro.faults.supervisor import RetryPolicy, SupervisedShardGroup
+
+__all__ = [
+    "ALL_KINDS",
+    "CRASH_AFTER_COMMIT",
+    "CRASH_AFTER_PREPARE",
+    "CRASH_BEFORE_PREPARE",
+    "CRASH_KINDS",
+    "DRILL_SCHEMES",
+    "DRILL_SHARD_COUNTS",
+    "DrillResult",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyVoteChannel",
+    "PARTITION",
+    "RetryPolicy",
+    "SMOKE_PLAN_NAMES",
+    "SupervisedShardGroup",
+    "VOTE_DELAY",
+    "VOTE_DROP",
+    "VOTE_DUPLICATE",
+    "VOTE_KINDS",
+    "drill_matrix",
+    "generate_chaos_plan",
+    "run_drill",
+    "standard_plans",
+]

@@ -1,0 +1,237 @@
+"""Chaos drills: a faulted run against an undisturbed reference.
+
+:func:`run_drill` builds two :class:`ShardedBlockchain`\\ s from the same
+config and feeds both the identical seeded spec stream. The *disturbed*
+chain runs under a :class:`~repro.faults.supervisor.SupervisedShardGroup`
+with a fault plan armed; the *reference* chain runs the plain decision
+layer. A healing plan must leave the two **bit-identical**:
+
+- per-block commit/abort decisions (the first divergent block is named),
+- the decision digest over the whole run,
+- per-shard and combined state hashes,
+- both certificate chains verify and share the head hash,
+- and the reference history is certified serializable by the
+  :class:`~repro.dcc.oracle.HistoryOracle` — decision identity transfers
+  the certificate to the disturbed run.
+
+Every drill is reproducible from ``(plan, scheme, shard count)`` alone:
+plans carry their seed, and all randomness flows through named
+:class:`~repro.sim.rng.SeededRng` streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chain.system import decision_digest
+from repro.core.reordering import KeyApply
+from repro.dcc.oracle import HistoryOracle
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan, standard_plans
+from repro.faults.supervisor import RetryPolicy, SupervisedShardGroup
+from repro.shard.system import ShardConfig, ShardedBlockchain
+from repro.sim.rng import SeededRng
+from repro.workloads.base import ShardAffinity
+from repro.workloads.smallbank import SmallbankWorkload
+
+DRILL_SCHEMES = ("harmony", "aria", "rbc")
+DRILL_SHARD_COUNTS = (1, 2, 4)
+#: the fast gate: one representative per fault family
+SMOKE_PLAN_NAMES = frozenset(
+    {
+        "baseline-no-fault",
+        "crash-before-prepare",
+        "crash-after-prepare",
+        "torn-base-compaction",
+        "vote-drop",
+        "partition-2pc",
+    }
+)
+
+
+@dataclass
+class DrillResult:
+    """One drill's verdict and supervision accounting."""
+
+    plan: FaultPlan
+    scheme: str
+    num_shards: int
+    ok: bool = True
+    failures: list = field(default_factory=list)
+    #: first block whose decisions diverged from the reference (None = none)
+    first_divergent_block: int | None = None
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        return f"{self.plan.name} x {self.scheme} x {self.num_shards}shard"
+
+
+def _applies_in_order(txns) -> list[KeyApply]:
+    """Per-key apply chains of committed transactions, in list order —
+    the pre-block-snapshot recording recipe (aria / rbc)."""
+    chains: dict = {}
+    for txn in txns:
+        if txn.committed:
+            for key in txn.write_set:
+                chains.setdefault(key, []).append(txn.tid)
+    return [
+        KeyApply(key=key, updater_tids=tids, handler_tid=tids[0])
+        for key, tids in chains.items()
+    ]
+
+
+def _build_chain(scheme: str, num_shards: int, plan: FaultPlan, block_size: int):
+    affinity = ShardAffinity(num_shards, 0.5) if num_shards > 1 else None
+    workload = SmallbankWorkload(num_accounts=90, theta=0.6, affinity=affinity)
+    config = ShardConfig(
+        system=scheme,
+        num_shards=num_shards,
+        block_size=block_size,
+        seed=plan.seed,
+        checkpoint_interval=2,
+        checkpoint_base_interval=2,
+    )
+    return ShardedBlockchain(config, workload)
+
+
+def _merged_txns(block, participants, executions) -> list:
+    """The coordinator-merged per-transaction records (run()'s view)."""
+    by_shard = {
+        shard: {t.tid: t for t in execution.txns}
+        for shard, execution in executions.items()
+    }
+    return [
+        by_shard[min(participants[j])][block.first_tid + j]
+        for j in range(block.size)
+    ]
+
+
+def run_drill(
+    scheme: str,
+    num_shards: int,
+    plan: FaultPlan,
+    num_blocks: int = 8,
+    block_size: int = 8,
+    policy: RetryPolicy | None = None,
+) -> DrillResult:
+    """One drill: disturbed (supervised, plan armed) vs reference."""
+    result = DrillResult(plan=plan, scheme=scheme, num_shards=num_shards)
+    disturbed = _build_chain(scheme, num_shards, plan, block_size)
+    reference = _build_chain(scheme, num_shards, plan, block_size)
+    supervisor = SupervisedShardGroup(
+        disturbed, FaultInjector(plan, num_shards), policy
+    )
+
+    rng = SeededRng(plan.seed, f"faults/{plan.name}/{scheme}/{num_shards}")
+    ref_records: list = []
+    oracle = HistoryOracle(indexed=True)
+    for _ in range(num_blocks):
+        specs = disturbed.workload.generate_block(block_size, rng)
+        supervisor.process_block(disturbed.ordering.form_block(specs))
+        block = reference.ordering.form_block(specs)
+        outcome = reference.process_global_block(block)
+        merged = _merged_txns(block, outcome.participants, outcome.executions)
+        ref_records.append((block.block_id, merged))
+        if scheme == "harmony":
+            key_applies = [
+                item
+                for shard in sorted(outcome.executions)
+                for item in outcome.executions[shard].key_applies
+            ]
+            first = min(outcome.executions)
+            snapshot_id = outcome.executions[first].snapshot_block_id
+        else:
+            key_applies = _applies_in_order(merged)
+            snapshot_id = block.block_id - 1
+        oracle.record_block(
+            block.block_id, merged, key_applies, snapshot_block_id=snapshot_id
+        )
+    supervisor.finalize()
+
+    def fail(message: str) -> None:
+        result.ok = False
+        result.failures.append(message)
+
+    # --- per-block decision identity (names the first divergent block)
+    drill_records = supervisor.decision_records()
+    for (bid, drill_txns), (_, ref_txns) in zip(drill_records, ref_records):
+        drill_decisions = {
+            (t.tid, t.committed, t.aborted) for t in drill_txns
+        }
+        ref_decisions = {(t.tid, t.committed, t.aborted) for t in ref_txns}
+        if drill_decisions != ref_decisions:
+            result.first_divergent_block = bid
+            fail(
+                f"block {bid}: decisions diverged "
+                f"(drill-only: {sorted(drill_decisions - ref_decisions)}, "
+                f"reference-only: {sorted(ref_decisions - drill_decisions)})"
+            )
+            break
+
+    if decision_digest(drill_records) != decision_digest(ref_records):
+        fail("decision digests differ")
+
+    # --- state identity, per shard and combined
+    drill_hashes = disturbed.group.state_hashes()
+    ref_hashes = reference.group.state_hashes()
+    for shard, (got, want) in enumerate(zip(drill_hashes, ref_hashes)):
+        if got != want:
+            fail(f"shard {shard}: state hash {got[:12]} != {want[:12]}")
+    if disturbed.group.combined_state_hash() != reference.group.combined_state_hash():
+        fail("combined state hashes differ")
+
+    # --- certificate chains intact and identical
+    if not disturbed.cert_log.verify_chain():
+        fail("disturbed certificate chain broken")
+    if not reference.cert_log.verify_chain():
+        fail("reference certificate chain broken")
+    if len(disturbed.cert_log) != len(reference.cert_log):
+        fail("certificate streams have different heights")
+    if disturbed.cert_log.head_hash != reference.cert_log.head_hash:
+        fail("certificate head hashes differ")
+
+    # --- ledgers chained on every (recovered) shard
+    if not disturbed.group.ledgers_ok():
+        fail("disturbed ledger chain broken")
+
+    # --- the reference history is serializable; decision identity
+    # transfers the certificate to the disturbed run
+    if not oracle.is_serializable():
+        fail("reference history not serializable")
+
+    result.stats = {
+        "retry_rounds": supervisor.retry_rounds,
+        "recoveries": supervisor.recoveries,
+        "failed_recoveries": supervisor.failed_recoveries,
+        "injected_delay_us": round(supervisor.injected_delay_us, 3),
+        "degraded_blocks": list(supervisor.degraded_blocks),
+    }
+    return result
+
+
+def drill_matrix(
+    schemes=DRILL_SCHEMES,
+    shard_counts=DRILL_SHARD_COUNTS,
+    num_blocks: int = 8,
+    block_size: int = 8,
+    seed: int = 61,
+    smoke: bool = False,
+):
+    """Enumerate plan x scheme x shard-count drills, yielding results.
+
+    ``smoke=True`` gates the fast subset: one scheme, one shard count,
+    one plan per fault family — the per-PR robustness gate.
+    """
+    if smoke:
+        schemes = (schemes[0],)
+        shard_counts = (min(2, max(shard_counts)),)
+    for num_shards in shard_counts:
+        plans = standard_plans(num_blocks, num_shards, seed)
+        if smoke:
+            plans = [p for p in plans if p.name in SMOKE_PLAN_NAMES]
+        for scheme in schemes:
+            for plan in plans:
+                yield run_drill(
+                    scheme, num_shards, plan, num_blocks, block_size
+                )

@@ -1,0 +1,332 @@
+"""Supervised sharded execution: detect, recover, re-join, retry.
+
+:class:`SupervisedShardGroup` wraps a :class:`ShardedBlockchain` and
+drives its decision layer one global block at a time, the way
+``process_global_block`` does — but with a supervision loop around every
+fault seam:
+
+- **crashed shards** are rebuilt with
+  :func:`~repro.shard.recovery.recover_shard_node` from their durable
+  artifacts, re-joined to the fleet (the federation closures re-point at
+  the recovered store in place), re-armed, and caught up on any sub-block
+  their log never held;
+- **vote exchange** runs under bounded retry with deterministic
+  exponential backoff (:class:`RetryPolicy`): every round retransmits the
+  cast votes through the (possibly faulty) wire, and between rounds the
+  supervisor heals what it can — recovering a shard that died before it
+  could vote buys its vote back within the same block;
+- **exhausted retries** fall to the timeout→abort degradation: the
+  certificate synthesizes vetoes for the votes that never arrived
+  (:func:`~repro.shard.twopc.reconcile_votes`), so an unhealed partition
+  aborts cross-shard transactions deterministically instead of guessing;
+- **lagging shards** (multi-block partition windows) are caught up when
+  the window closes, replaying the missed sub-blocks under their recorded
+  certificates.
+
+All supervision overhead (backoff waits, retry rounds, recovery
+round-trips) accumulates into ``injected_delay_us``, priced through the
+chain's :class:`~repro.consensus.network.NetworkModel` — fault handling
+shows up as latency, never as nondeterminism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.inject import FaultInjector, FaultyVoteChannel
+from repro.faults.plan import (
+    CRASH_AFTER_COMMIT,
+    CRASH_AFTER_PREPARE,
+    CRASH_BEFORE_PREPARE,
+)
+from repro.shard.recovery import recover_shard_node
+from repro.shard.twopc import ShardVote
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic bounded retry with exponential backoff.
+
+    The schedule is a pure function of the policy — no clocks, no
+    jitter — so every replica of the supervisor waits the same simulated
+    microseconds and gives up after the same round.
+    """
+
+    max_attempts: int = 5
+    base_backoff_us: float = 50.0
+    multiplier: float = 2.0
+    max_backoff_us: float = 5000.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff must be non-decreasing")
+
+    def backoff_us(self, attempt: int) -> float:
+        """Wait before retry round ``attempt`` (0-indexed), capped."""
+        return min(
+            self.base_backoff_us * self.multiplier**attempt,
+            self.max_backoff_us,
+        )
+
+    def schedule(self) -> tuple:
+        """The full backoff schedule, one entry per possible retry."""
+        return tuple(
+            self.backoff_us(a) for a in range(self.max_attempts - 1)
+        )
+
+
+class SupervisedShardGroup:
+    """Drives a sharded chain block-by-block under fault supervision."""
+
+    def __init__(
+        self,
+        chain,
+        injector: FaultInjector,
+        policy: RetryPolicy | None = None,
+    ) -> None:
+        self.chain = chain
+        self.injector = injector
+        self.policy = policy or RetryPolicy()
+        self.channel = FaultyVoteChannel(injector.plan)
+        injector.arm(chain)
+        #: every global block's sub-block split, for catch-up delivery
+        self.sub_block_log: list[dict] = []
+        #: shards currently dead (corpse still holds the durable artifacts)
+        self._crashed: set[int] = set()
+        #: partition windows already caught up, keyed (shard, start block)
+        self._healed_windows: set = set()
+        #: (shard, block_id) -> {tid: txn} from live commits, recovery
+        #: replay and catch-up — the decision records' single source
+        self._shard_block_txns: dict = {}
+        #: per block: (block_id, [(tid, coordinator shard), ...])
+        self._rows: list = []
+        # --- supervision accounting
+        self.injected_delay_us = 0.0
+        self.retry_rounds = 0
+        self.recoveries = 0
+        self.failed_recoveries = 0
+        self.degraded_blocks: list[int] = []
+
+    # ------------------------------------------------------------ driving
+    def process_block(self, block) -> dict:
+        """One global block under supervision; returns the live
+        per-shard executions (crashed/lagging shards may be absent —
+        their records arrive via recovery replay or catch-up)."""
+        chain = self.chain
+        plan = self.injector.plan
+        bid = block.block_id
+
+        self._heal_lagging(bid)
+
+        participants = [
+            chain.router.participants_of(chain.workload, spec)
+            for spec in block.specs
+        ]
+        chain.participants_log.append(participants)
+        cross_tids = {
+            block.first_tid + j
+            for j, shards in enumerate(participants)
+            if len(shards) > 1
+        }
+        expected = {
+            block.first_tid + j: shards
+            for j, shards in enumerate(participants)
+            if len(shards) > 1
+        }
+        sub_blocks = chain.sequencer.split(block, participants)
+        self.sub_block_log.append(sub_blocks)
+
+        lagging = plan.lagging_shards(bid)
+        dead_before = plan.crash_shards(bid, CRASH_BEFORE_PREPARE)
+        self._crashed |= dead_before
+        prepared = chain.group.prepare(
+            sub_blocks, skip=frozenset(self._crashed | lagging)
+        )
+        cast = self._votes_from(prepared, cross_tids)
+
+        # crash-after-prepare: the vote hit the wire, then the shard died
+        # (with ``tear_log`` the log write behind the vote also tore).
+        self._crashed |= plan.crash_shards(bid, CRASH_AFTER_PREPARE)
+
+        # --- vote exchange under bounded deterministic retry ------------
+        expected_pairs = {
+            (tid, shard) for tid, shards in expected.items() for shard in shards
+        }
+        arrived: list[ShardVote] = []
+        attempt = 0
+        while True:
+            arrived.extend(self.channel.deliver(cast, bid, attempt))
+            missing = expected_pairs - {(v.tid, v.shard_id) for v in arrived}
+            if not missing:
+                break
+            attempt += 1
+            if attempt >= self.policy.max_attempts:
+                # timeout→abort degradation: the certificate will
+                # synthesize vetoes for every still-missing vote
+                self.degraded_blocks.append(bid)
+                break
+            self.retry_rounds += 1
+            self.injected_delay_us += self.policy.backoff_us(attempt - 1)
+            self.injected_delay_us += chain.network.rtt_us(
+                chain.config.num_shards
+            )
+            # a shard that died before voting can be recovered mid-window:
+            # its log holds only certified blocks, so replay is complete,
+            # and re-delivering this sub-block buys the missing vote back
+            for shard in sorted(
+                {s for (_, s) in missing} & dead_before & self._crashed
+            ):
+                node = self._recover(shard, bid)
+                if node is None:
+                    continue  # crash-during-recovery: attempt consumed
+                prep = node.prepare_block(sub_blocks[shard])
+                prepared[shard] = prep
+                cast.extend(self._votes_from({shard: prep}, cross_tids))
+
+        certificate = chain.cert_log.append(arrived, bid, expected=expected)
+
+        # --- commit phase ----------------------------------------------
+        executions = chain.group.finish(
+            prepared, certificate.abort_tids, skip=frozenset(self._crashed)
+        )
+        for shard, execution in executions.items():
+            self._shard_block_txns.setdefault(
+                (shard, bid), {t.tid: t for t in execution.txns}
+            )
+
+        # crash-after-commit: committed, then died before the checkpoint
+        # write survived (the armed checkpoint hook already skipped/tore it)
+        self._crashed |= plan.crash_shards(bid, CRASH_AFTER_COMMIT)
+
+        # --- end-of-block supervision: every corpse recovers now that the
+        # certificate landed, so replay covers this block too.
+        for shard in sorted(self._crashed):
+            node = None
+            tries = 0
+            while node is None:
+                tries += 1
+                if tries > self.policy.max_attempts:
+                    raise RuntimeError(
+                        f"shard {shard} recovery exceeded retry budget"
+                    )
+                node = self._recover(shard, bid)
+            self._catch_up(shard, node)
+
+        self._rows.append(
+            (
+                bid,
+                [
+                    (block.first_tid + j, min(participants[j]))
+                    for j in range(block.size)
+                ],
+            )
+        )
+        return executions
+
+    def finalize(self) -> None:
+        """End of run: close every partition window and catch up."""
+        self._heal_lagging(None)
+        if self._crashed:
+            raise RuntimeError(f"unrecovered shards at finalize: {self._crashed}")
+
+    # ------------------------------------------------------------ healing
+    def _recover(self, shard: int, block_id: int):
+        """One recovery attempt for ``shard``; ``None`` = the attempt
+        itself crashed (double fault) and the durable artifacts are
+        untouched, ready for the next attempt."""
+        chain = self.chain
+        corpse = chain.group.nodes[shard]
+        stores = chain.group._stores or [corpse.engine.store]
+        if self.injector.recovery_fails(shard, block_id):
+            # the recovering process dies mid-replay: run it and discard —
+            # recovery only reads the durable artifacts, so a half-done
+            # attempt leaves nothing behind
+            recover_shard_node(
+                corpse, shard, stores, chain.router, chain.cert_log
+            )
+            self.failed_recoveries += 1
+            self.injected_delay_us += chain.network.rtt_us(
+                chain.config.num_shards
+            )
+            return None
+        recovery = recover_shard_node(
+            corpse, shard, stores, chain.router, chain.cert_log
+        )
+        chain.group.rejoin(shard, recovery.node)
+        self.injector.arm_node(shard, recovery.node)
+        self._crashed.discard(shard)
+        self.recoveries += 1
+        self.injected_delay_us += chain.network.rtt_us(chain.config.num_shards)
+        for replayed_bid, txns in recovery.replayed_blocks:
+            self._shard_block_txns.setdefault(
+                (shard, replayed_bid), {t.tid: t for t in txns}
+            )
+        return recovery.node
+
+    def _catch_up(self, shard: int, node) -> None:
+        """Deliver every logged-and-certified sub-block the replica's
+        ledger doesn't cover yet (torn log tails, missed windows)."""
+        chain = self.chain
+        for b in range(len(node.ledger), len(self.sub_block_log)):
+            prep = node.prepare_block(self.sub_block_log[b][shard])
+            execution = node.finish_block(prep, chain.cert_log[b].abort_tids)
+            self._shard_block_txns.setdefault(
+                (shard, b), {t.tid: t for t in execution.txns}
+            )
+            self.injected_delay_us += chain.network.rtt_us(
+                chain.config.num_shards
+            )
+
+    def _heal_lagging(self, upto_block: int | None) -> None:
+        """Catch up shards whose partition window closed before
+        ``upto_block`` (``None`` = end of run, close everything)."""
+        for event in self.injector.plan.partition_windows():
+            end = event.block_id + event.blocks
+            key = (event.shard, event.block_id)
+            if key in self._healed_windows:
+                continue
+            if upto_block is None or end <= upto_block:
+                self._healed_windows.add(key)
+                self._catch_up(
+                    event.shard, self.chain.group.nodes[event.shard]
+                )
+
+    # ------------------------------------------------------------ records
+    @staticmethod
+    def _votes_from(prepared: dict, cross_tids: set) -> list:
+        votes = []
+        for shard, prep in prepared.items():
+            for txn in prep.txns:
+                if txn.tid in cross_tids:
+                    votes.append(
+                        ShardVote(
+                            tid=txn.tid,
+                            shard_id=shard,
+                            commit=not txn.aborted,
+                            reason=(
+                                txn.abort_reason.value if txn.aborted else None
+                            ),
+                        )
+                    )
+        return votes
+
+    def decision_records(self) -> list:
+        """``(block_id, [txn, ...])`` per global block, each transaction's
+        record taken from its coordinator shard — the same merged view
+        the unsupervised ``run()`` builds. Raises if a shard never healed
+        (call :meth:`finalize` first)."""
+        out = []
+        for bid, pairs in self._rows:
+            txns = []
+            for tid, coordinator in pairs:
+                block_txns = self._shard_block_txns.get((coordinator, bid))
+                if block_txns is None or tid not in block_txns:
+                    raise RuntimeError(
+                        f"no decision record for tid {tid} "
+                        f"(shard {coordinator}, block {bid})"
+                    )
+                txns.append(block_txns[tid])
+            out.append((bid, txns))
+        return out

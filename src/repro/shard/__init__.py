@@ -74,8 +74,10 @@ from repro.shard.twopc import (
     CertificateLog,
     CommitCertificate,
     ShardVote,
+    VoteChannel,
     decide,
     make_certificate,
+    reconcile_votes,
 )
 
 __all__ = [
@@ -88,8 +90,10 @@ __all__ = [
     "ShardRouter",
     "ShardVote",
     "ShardedBlockchain",
+    "VoteChannel",
     "build_sharded_system",
     "decide",
     "recover_shard_node",
     "make_certificate",
+    "reconcile_votes",
 ]

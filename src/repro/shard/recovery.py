@@ -38,6 +38,10 @@ class ShardRecovery:
     #: digest of the replayed blocks' commit/abort decisions — comparable
     #: against an uncrashed replica's decisions over the same block range
     decision_digest: str
+    #: the replayed ``(block_id, txns)`` pairs behind the digest — lets a
+    #: supervisor back-fill per-block decision records the crashed shard
+    #: never surfaced through the live pipeline
+    replayed_blocks: list = None
 
 
 def recover_shard_node(
@@ -97,4 +101,5 @@ def recover_shard_node(
         node=recovered,
         replay_from=replay_from,
         decision_digest=decision_digest(replayed),
+        replayed_blocks=replayed,
     )

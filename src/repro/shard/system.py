@@ -137,8 +137,13 @@ class ShardGroup:
             self.nodes.append(
                 ReplicaNode(f"{name_prefix}/shard-{shard}", executor, orderer_signer)
             )
+        #: the shared store list captured (by reference) in every shard's
+        #: federation closures — :meth:`rejoin` mutates slots in place so
+        #: peers re-point at a recovered store without rewiring
+        self._stores: list | None = None
         if config.num_shards > 1:
             stores = [node.engine.store for node in self.nodes]
+            self._stores = stores
             for shard, node in enumerate(self.nodes):
                 node.executor.snapshot_source = (
                     lambda snap_block_id, _stores=stores: FederatedSnapshot(
@@ -149,25 +154,57 @@ class ShardGroup:
                     lambda key, _shard=shard: router.shard_of(key) == _shard
                 )
 
-    def prepare(self, sub_blocks: dict) -> dict:
-        """Phase one on every shard; all prepares precede any commit."""
+    def prepare(self, sub_blocks: dict, skip: frozenset = frozenset()) -> dict:
+        """Phase one on every live shard; all prepares precede any commit.
+
+        Shards in ``skip`` (crash-before-prepare injection) died before
+        the sub-block arrived: they never log or prepare it and get no
+        entry — a supervisor must catch them up after recovery.
+        """
         return {
             shard: node.prepare_block(sub_blocks[shard])
             for shard, node in enumerate(self.nodes)
+            if shard not in skip
         }
 
     def finish(
         self, prepared: dict, abort_tids: frozenset, skip: frozenset = frozenset()
     ) -> dict:
-        """Phase two on every shard, honouring the certificate's vetoes.
+        """Phase two on every prepared shard, honouring the certificate's
+        vetoes.
 
-        Shards in ``skip`` (crash injection) never commit and get no entry.
+        Shards in ``skip`` (crash injection) never commit and get no entry;
+        shards absent from ``prepared`` never even prepared.
         """
         return {
-            shard: node.finish_block(prepared[shard], abort_tids)
-            for shard, node in enumerate(self.nodes)
+            shard: self.nodes[shard].finish_block(prepared[shard], abort_tids)
+            for shard in prepared
             if shard not in skip
         }
+
+    def rejoin(self, shard: int, node: ReplicaNode) -> None:
+        """Swap a recovered replica back into the fleet as a full peer.
+
+        The federation closures capture the shared store list by
+        reference, so mutating the slot in place re-points every peer's
+        cross-shard reads at the recovered store. The recovered executor
+        itself was wired against a *copy* of the list (see
+        :func:`~repro.shard.recovery.recover_shard_node`), so it is
+        re-wired against the shared one here.
+        """
+        self.nodes[shard] = node
+        if self._stores is not None:
+            self._stores[shard] = node.engine.store
+            stores = self._stores
+            router = self.router
+            node.executor.snapshot_source = (
+                lambda snap_block_id, _stores=stores: FederatedSnapshot(
+                    router, _stores, snap_block_id
+                )
+            )
+            node.executor.key_scope = (
+                lambda key, _shard=shard: router.shard_of(key) == _shard
+            )
 
     def state_hashes(self) -> list[str]:
         return [node.state_hash() for node in self.nodes]
@@ -208,6 +245,15 @@ class ShardedBlockchain:
         #: participant sets per global block (replayed by replicas)
         self.participants_log: list[list[frozenset]] = []
         self.history: list[GlobalBlockRecord] = []
+        #: fault-point hook (``hook(block_id) -> (skip_prepare, skip_commit)
+        #: | None``) consulted by :meth:`process_global_block`; ``None``
+        #: (the default) costs one attribute check per block. Armed by
+        #: :mod:`repro.faults.inject`.
+        self.fault_hook = None
+        #: vote-exchange medium; ``None`` means perfect delivery. A
+        #: :class:`~repro.shard.twopc.VoteChannel` here lets fault plans
+        #: drop/duplicate/delay votes on the wire.
+        self.vote_channel = None
 
     def _build_router(self) -> ShardRouter:
         config = self.config
@@ -246,18 +292,39 @@ class ShardedBlockchain:
         )
 
     def process_global_block(
-        self, block, crash_after_prepare: frozenset = frozenset()
+        self,
+        block,
+        crash_after_prepare: frozenset = frozenset(),
+        fault_hook=None,
     ) -> GlobalBlockOutcome:
         """Decision layer for one global block: route, split, prepare,
         exchange votes, certify, commit.
 
-        ``crash_after_prepare`` names shards that fail between their
-        prepare vote and the certificate append (the recovery drill's
-        crash window): their deterministic votes were already cast, the
-        certificate lands in the global stream, but the shard never
-        commits — its block log holds the input block, so recovery replays
-        it under the certificate's recorded decisions.
+        ``fault_hook`` (or the armed ``self.fault_hook``) generalizes the
+        crash flags into a fault point: called with the block id, it
+        returns ``None`` (no fault) or a ``(skip_prepare, skip_commit)``
+        pair of shard sets. Shards in ``skip_prepare`` die *before* the
+        sub-block arrives (never logged, never voted — with the vote
+        missing, the certificate's timeout degradation vetoes their
+        cross-shard transactions); shards in ``skip_commit`` die between
+        their prepare vote and the certificate append: the deterministic
+        votes were cast, the certificate lands, but the shard never
+        commits — its block log holds the input block, so recovery
+        replays it under the certificate's recorded decisions.
+
+        ``crash_after_prepare`` is the deprecated spelling of that second
+        window (pre-fault-plan API), kept as a thin shim: it feeds
+        ``skip_commit`` directly.
         """
+        skip_prepare: frozenset = frozenset()
+        skip_commit: frozenset = crash_after_prepare
+        hook = fault_hook if fault_hook is not None else self.fault_hook
+        if hook is not None:
+            directive = hook(block.block_id)
+            if directive is not None:
+                before, after = directive
+                skip_prepare = skip_prepare | before
+                skip_commit = skip_commit | before | after
         participants = [
             self.router.participants_of(self.workload, spec) for spec in block.specs
         ]
@@ -268,7 +335,7 @@ class ShardedBlockchain:
             if len(shards) > 1
         }
         sub_blocks = self.sequencer.split(block, participants)
-        prepared = self.group.prepare(sub_blocks)
+        prepared = self.group.prepare(sub_blocks, skip=skip_prepare)
 
         # --- ordered vote exchange: prepare outcomes become the block
         # stream's commit certificate (deterministic all-yes rule).
@@ -284,9 +351,19 @@ class ShardedBlockchain:
                             reason=txn.abort_reason.value if txn.aborted else None,
                         )
                     )
-        certificate = self.cert_log.append(votes, block.block_id)
+        if self.vote_channel is not None:
+            votes = self.vote_channel.deliver(votes, block.block_id)
+        # expected participant sets arm the timeout→abort degradation for
+        # any vote that never arrived; with a full vote set (the
+        # fault-free case) they change nothing.
+        expected = {
+            block.first_tid + j: shards
+            for j, shards in enumerate(participants)
+            if len(shards) > 1
+        }
+        certificate = self.cert_log.append(votes, block.block_id, expected=expected)
         executions = self.group.finish(
-            prepared, certificate.abort_tids, skip=crash_after_prepare
+            prepared, certificate.abort_tids, skip=skip_commit
         )
         return GlobalBlockOutcome(
             block=block,

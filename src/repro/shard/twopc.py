@@ -68,20 +68,65 @@ class CommitCertificate:
         return vetoed == set(self.abort_tids)
 
 
-def decide(votes: list[ShardVote]) -> frozenset:
+def decide(votes) -> frozenset:
     """The commit rule: a transaction aborts iff any participant vetoed."""
     return frozenset(v.tid for v in votes if not v.commit)
 
 
+def reconcile_votes(
+    votes: list[ShardVote], expected: dict[int, frozenset] | None = None
+) -> list[ShardVote]:
+    """Normalize a (possibly faulty) vote collection into one vote per
+    ``(tid, shard_id)`` pair.
+
+    Duplicated deliveries are idempotent: the first vote for a pair wins
+    and later copies must agree — a *conflicting* duplicate means a shard
+    equivocated, which deterministic validation makes impossible, so it
+    raises rather than picking a side. When ``expected`` maps each
+    cross-shard tid to its participant set, any pair still missing after
+    dedup is synthesized as a veto (``reason="vote-timeout"``): the
+    degradation policy for an unhealed partition is *abort, never guess*,
+    keeping the decision a pure function of the votes that arrived.
+    """
+    by_pair: dict[tuple[int, int], ShardVote] = {}
+    for vote in votes:
+        pair = (vote.tid, vote.shard_id)
+        prior = by_pair.get(pair)
+        if prior is None:
+            by_pair[pair] = vote
+        elif prior.commit != vote.commit:
+            raise ValueError(
+                f"equivocating votes for tid {vote.tid} from shard {vote.shard_id}"
+            )
+    if expected is not None:
+        for tid, shards in expected.items():
+            for shard_id in shards:
+                if (tid, shard_id) not in by_pair:
+                    by_pair[(tid, shard_id)] = ShardVote(
+                        tid, shard_id, commit=False, reason="vote-timeout"
+                    )
+    return list(by_pair.values())
+
+
 def make_certificate(
-    block_id: int, votes: list[ShardVote], prev_hash: str
+    block_id: int,
+    votes: list[ShardVote],
+    prev_hash: str,
+    expected: dict[int, frozenset] | None = None,
 ) -> CommitCertificate:
-    """Build the block's certificate with votes in canonical order."""
-    ordered = tuple(sorted(votes, key=lambda v: (v.tid, v.shard_id)))
+    """Build the block's certificate with votes in canonical order.
+
+    ``expected`` (tid -> participant shard set) arms the timeout
+    degradation: missing votes become synthesized vetoes via
+    :func:`reconcile_votes`. Without it the votes are still deduplicated,
+    so retransmitted copies never change the certificate hash.
+    """
+    reconciled = reconcile_votes(votes, expected)
+    ordered = tuple(sorted(reconciled, key=lambda v: (v.tid, v.shard_id)))
     return CommitCertificate(
         block_id=block_id,
         votes=ordered,
-        abort_tids=decide(votes),
+        abort_tids=decide(ordered),
         prev_hash=prev_hash,
     )
 
@@ -102,8 +147,13 @@ class CertificateLog:
     def head_hash(self) -> str:
         return self._certs[-1].hash if self._certs else GENESIS_CERT_HASH
 
-    def append(self, votes: list[ShardVote], block_id: int) -> CommitCertificate:
-        cert = make_certificate(block_id, votes, self.head_hash)
+    def append(
+        self,
+        votes: list[ShardVote],
+        block_id: int,
+        expected: dict[int, frozenset] | None = None,
+    ) -> CommitCertificate:
+        cert = make_certificate(block_id, votes, self.head_hash, expected)
         self._certs.append(cert)
         return cert
 
@@ -117,3 +167,20 @@ class CertificateLog:
 
     def certificates(self) -> list:
         return list(self._certs)
+
+
+class VoteChannel:
+    """The vote-exchange medium between shards and the ordering layer.
+
+    The default channel is perfect: every vote cast arrives exactly once,
+    immediately. Fault injection subclasses (``repro.faults.inject``)
+    override :meth:`deliver` to drop, duplicate or delay votes per the
+    armed plan; the supervisor then drives bounded retries until the
+    expected set is covered or the timeout degradation kicks in.
+    """
+
+    def deliver(
+        self, votes: list[ShardVote], block_id: int, attempt: int = 0
+    ) -> list[ShardVote]:
+        """Return the votes that actually arrive for this attempt."""
+        return list(votes)

@@ -98,6 +98,11 @@ class BlockLog:
     def __init__(self) -> None:
         self._blocks: list[object] = []
         self._ids: list[int] = []
+        #: fault-injection hook (``hook(block) -> bool``): a truthy return
+        #: tears the append — the log write never became durable, as if the
+        #: crash hit mid-write. ``None`` (the default) costs one attribute
+        #: check; armed only by :mod:`repro.faults.inject`.
+        self.fault_hook = None
 
     def append(self, block: object) -> None:
         block_id = block.block_id
@@ -107,6 +112,8 @@ class BlockLog:
             raise ValueError(
                 f"block {block_id} appended after block {self._ids[-1]}"
             )
+        if self.fault_hook is not None and self.fault_hook(block):
+            return  # torn log tail: the block was never durably persisted
         self._blocks.append(block)
         self._ids.append(block_id)
 
@@ -159,6 +166,14 @@ class CheckpointManager:
         #: Simulates a crash mid-checkpoint: when True, the newest chain
         #: entry (delta or base) is considered torn and unusable.
         self.torn_latest = False
+        #: fault-injection hook (``hook(block_id) -> "skip" | "tear" | None``):
+        #: ``"skip"`` suppresses the checkpoint entirely (the crash landed
+        #: between the commit and the checkpoint write — the engine's delta
+        #: buffer fallback re-derives the interval on the next attempt);
+        #: ``"tear"`` takes it but marks the chain tip torn (crash *during*
+        #: the write — for a base compaction, the tip is the fresh base).
+        #: ``None`` default costs one attribute check per checkpoint.
+        self.fault_hook = None
 
     def maybe_checkpoint(
         self,
@@ -183,6 +198,9 @@ class CheckpointManager:
         block_writes: list[tuple[object, object]] | None = None,
     ) -> None:
         """Append a full (base) checkpoint — the O(keyspace) deepcopy path."""
+        fault = self.fault_hook(block_id) if self.fault_hook is not None else None
+        if fault == "skip":
+            return
         self._entries.append(
             Checkpoint(
                 block_id,
@@ -194,6 +212,8 @@ class CheckpointManager:
         )
         self._deltas_since_base = 0
         self.last_checkpoint_block = block_id
+        if fault == "tear":
+            self.torn_latest = True
         self._prune()
 
     def delta_checkpoint(
@@ -212,6 +232,9 @@ class CheckpointManager:
         length stay bounded; the fold reuses the already-isolated delta
         copies, so compaction never touches the live store either.
         """
+        fault = self.fault_hook(block_id) if self.fault_hook is not None else None
+        if fault == "skip":
+            return
         self._entries.append(
             DeltaCheckpoint(
                 block_id,
@@ -228,6 +251,11 @@ class CheckpointManager:
             self._entries.append(self._reconstruct(self._entries))
             self._deltas_since_base = 0
         self.last_checkpoint_block = block_id
+        if fault == "tear":
+            # crash mid-write: the chain tip (the fresh base when the
+            # compaction just fired, else this delta) is torn — recovery
+            # falls back to the prefix one entry behind it.
+            self.torn_latest = True
         self._prune()
 
     def seed_base(self, checkpoint: Checkpoint) -> None:

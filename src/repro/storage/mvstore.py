@@ -211,6 +211,11 @@ class MVStore:
         #: Bulk loads of fresh keys never enter (chain length one), so a
         #: million-key populate costs gc nothing.
         self._gc_pending: set[object] = set()
+        #: per-block key watermark: block_id -> keys that block wrote, so
+        #: :meth:`writes_in_block` walks only those chains instead of the
+        #: whole store. Grows like the block log (one entry per installed
+        #: write), which recovery retains anyway.
+        self._block_keys: dict[int, list[object]] = {}
 
     def __contains__(self, key: object) -> bool:
         value, _ = self.get_latest(key)
@@ -243,6 +248,7 @@ class MVStore:
             }
             self._sorted_keys = sorted(self._versions)
             self._stale_keys.update(self._versions)
+            self._block_keys.setdefault(block_id, []).extend(items)
             return
         new_keys = []
         for seq, (key, value) in enumerate(items.items()):
@@ -262,6 +268,7 @@ class MVStore:
                 chain.append(((block_id, seq), value))
                 self._gc_pending.add(key)
         self._stale_keys.update(items)
+        self._block_keys.setdefault(block_id, []).extend(items)
         self._merge_new_keys(new_keys)
 
     def get_latest(self, key: object) -> tuple[object | None, Version | None]:
@@ -292,6 +299,7 @@ class MVStore:
         versions = self._versions
         stale = self._stale_keys
         pending = self._gc_pending
+        block_keys = self._block_keys.setdefault(block_id, [])
         new_keys = []
         for seq, (key, value) in enumerate(writes):
             chain = versions.get(key)
@@ -302,6 +310,7 @@ class MVStore:
                 chain.append(((block_id, seq), value))
                 pending.add(key)
             stale.add(key)
+            block_keys.append(key)
         self._merge_new_keys(new_keys)
         self.last_committed_block = block_id
 
@@ -327,6 +336,7 @@ class MVStore:
             chain.append((version, value))
             self._gc_pending.add(key)
         self._stale_keys.add(key)
+        self._block_keys.setdefault(version[0], []).append(key)
 
     @staticmethod
     def _gc_chain(chain: list, keep_after_block: int) -> int:
@@ -476,7 +486,9 @@ class MVStore:
                 state[key] = value
         return state
 
-    def writes_in_block(self, block_id: int) -> list[tuple[object, object]]:
+    def writes_in_block(
+        self, block_id: int, indexed: bool = True
+    ) -> list[tuple[object, object]]:
         """The writes ``block_id`` installed, in their original apply order.
 
         TOMBSTONEs included: this is the exact ordered list the block
@@ -488,9 +500,26 @@ class MVStore:
         cannot see a key rewritten with an unchanged value, and would leave
         the recovered replica's version behind the one SOV-style checks
         observe on an uncrashed replica.
+
+        ``indexed=True`` (default) walks only the block's watermarked
+        chains (``_block_keys``, recorded at apply time like the gc
+        watermark) — O(block writes), never O(keyspace). ``indexed=False``
+        retains the seed's every-chain walk as the differential reference;
+        both return the identical list.
         """
         writes: list[tuple[int, object, object]] = []
-        for key, chain in self._versions.items():
+        if indexed:
+            # Dedup per call: a key written twice in the block appears
+            # twice in the watermark, but its chain holds both versions.
+            seen: set[object] = set()
+            chains = (
+                (key, self._versions[key])
+                for key in self._block_keys.get(block_id, ())
+                if not (key in seen or seen.add(key))
+            )
+        else:
+            chains = self._versions.items()
+        for key, chain in chains:
             for version, value in reversed(chain):
                 if version[0] == block_id:
                     writes.append((version[1], key, value))

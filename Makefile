@@ -1,0 +1,35 @@
+# Convenience targets wrapping the standing workflows (see ROADMAP.md).
+# Everything runs from the repo root with src/ on PYTHONPATH.
+
+PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
+
+.PHONY: test perf-smoke perf perf-parallel compare faults-smoke faults
+
+# tier-1 verify: the whole default suite (perf/faults markers excluded
+# by pytest.ini)
+test:
+	$(PY) -m pytest -x -q
+
+# perf harness smoke: runs in seconds, fails on any check or any
+# non-gated speedup < 1.0
+perf-smoke:
+	$(PY) -m repro.bench --perf-smoke --check
+
+# full perf trajectory run + regression gate (commit BENCH_perf.json)
+perf:
+	$(PY) -m repro.bench --perf --check
+
+# wall-clock parallelism gates (skip with reason on < 4 usable cores)
+perf-parallel:
+	$(PY) -m pytest -m perf -k "parallel or pipelined" -q
+
+# diff the two newest same-mode perf runs; fails on a speedup collapse
+compare:
+	$(PY) -m repro.bench --compare
+
+# fault-injection drills, quick and full
+faults-smoke:
+	$(PY) -m repro.faults --smoke
+
+faults:
+	$(PY) -m repro.faults

@@ -85,6 +85,21 @@ class OEConfig:
     #: clients resubmit aborted transactions; retries consume block slots,
     #: so high-abort protocols pay for their aborts in throughput
     retry_aborted: bool = True
+    #: prepare backend: ``"serial"`` runs every prepare in-process (the
+    #: differential reference); ``"process"`` fans per-shard
+    #: ``prepare_block`` calls out to a ``ProcessPoolExecutor`` pool
+    #: (``repro.parallel``) — decisions, state hashes and certificates are
+    #: bit-identical, only wall-clock changes. Fault-armed runs fall back
+    #: to serial automatically so injected hooks keep firing in-process.
+    backend: str = "serial"
+    #: worker processes for ``backend="process"`` (``None`` = one per shard)
+    backend_workers: int | None = None
+    #: overlap block N+1's prepare with block N's commit (the paper's
+    #: inter-block pipelining, on real cores). Takes effect with
+    #: ``backend="process"`` on executors whose snapshot lag >= 2
+    #: (Harmony with ``inter_block``); otherwise runs identically to the
+    #: sequential driver.
+    pipelined: bool = False
 
 
 def append_block_latencies(
@@ -169,7 +184,22 @@ class OEBlockchain:
     def _inter_block_enabled(self) -> bool:
         return self.config.system == "harmony" and self.config.harmony.inter_block
 
+    def _pipelined_ready(self) -> bool:
+        """Whether the pipelined process-backend driver applies: requested,
+        and the executor's snapshot lag legalizes preparing block *i*
+        before block *i-1*'s commit (Harmony inter-block)."""
+        return (
+            self.config.pipelined
+            and self.config.backend == "process"
+            and self._inter_block_enabled()
+            and self.config.harmony.effective_lag >= 2
+        )
+
     def run(self) -> RunMetrics:
+        if self._pipelined_ready():
+            from repro.parallel.pipeline import run_oe_pipelined
+
+            return run_oe_pipelined(self)
         config = self.config
         rng = SeededRng(config.seed, f"oe/{config.system}/{self.workload.name}")
         metrics = RunMetrics(system=config.system, workload=self.workload.name)
@@ -177,7 +207,6 @@ class OEBlockchain:
         interval = self.consensus.min_block_interval_us(
             self._block_bytes(), config.num_replicas
         )
-        consensus_latency = self._consensus_latency_us()
 
         timings: list[BlockTiming] = []
         executions = []
@@ -190,27 +219,40 @@ class OEBlockchain:
             )
             block = self.ordering.form_block(retries + fresh)
             execution = self.node.process_block(block)
-            # serial front-end: deserialize + dispatch each transaction
-            execution.pre_exec_serial_us += block.size * self.costs.ingest_us
+            self._absorb_execution(metrics, timings, executions, i, interval, execution)
             if config.retry_aborted:
                 retry_queue.extend(t.spec for t in execution.txns if t.aborted)
-            if config.measure_false_aborts:
-                execution.stats.false_aborts = SerializabilityOracle.count_false_aborts(
-                    execution.txns
-                )
-            metrics.merge_block(execution.stats)
-            executions.append(execution)
-            timings.append(
-                BlockTiming(
-                    arrival_us=i * interval,
-                    sim_durations=execution.sim_durations_us,
-                    commit_durations=execution.commit_durations_us,
-                    serial_commit=execution.serial_commit,
-                    pre_exec_serial_us=execution.pre_exec_serial_us,
-                    post_commit_serial_us=execution.post_commit_serial_us,
-                )
-            )
+        return self._finalize_metrics(metrics, timings, executions, interval)
 
+    # ------------------------------------------------- run bookkeeping
+    # Shared with the pipelined driver (repro.parallel.pipeline) so the
+    # two paths can never drift in how an execution is accounted.
+    def _absorb_execution(
+        self, metrics, timings, executions, i, interval, execution
+    ) -> None:
+        config = self.config
+        # serial front-end: deserialize + dispatch each transaction
+        execution.pre_exec_serial_us += len(execution.txns) * self.costs.ingest_us
+        if config.measure_false_aborts:
+            execution.stats.false_aborts = SerializabilityOracle.count_false_aborts(
+                execution.txns
+            )
+        metrics.merge_block(execution.stats)
+        executions.append(execution)
+        timings.append(
+            BlockTiming(
+                arrival_us=i * interval,
+                sim_durations=execution.sim_durations_us,
+                commit_durations=execution.commit_durations_us,
+                serial_commit=execution.serial_commit,
+                pre_exec_serial_us=execution.pre_exec_serial_us,
+                post_commit_serial_us=execution.post_commit_serial_us,
+            )
+        )
+
+    def _finalize_metrics(self, metrics, timings, executions, interval) -> RunMetrics:
+        config = self.config
+        consensus_latency = self._consensus_latency_us()
         lag = config.harmony.snapshot_lag if self._inter_block_enabled() else 2
         scheduler = PipelineSimulator(
             num_cores=config.cores,

@@ -15,6 +15,7 @@ or Rule 3 with inter-block parallelism) → reorder & coalesce updates
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 
 from repro.core.reordering import apply_write_sets
@@ -140,3 +141,40 @@ class HarmonyExecutor(DCCExecutor):
     def restore_records(self, records: PrevBlockRecords) -> None:
         """Reinstate Rule-3 records after recovery from a checkpoint."""
         self._prev_records = records or PrevBlockRecords()
+
+    # -- process-backend hooks ----------------------------------------------
+    def detach_prepared(self, prepared: PreparedBlock) -> PreparedBlock:
+        """Drop the dependency index before shipping: it is pure derived
+        data and ``apply_write_sets`` rebuilds it bit-identically when the
+        payload arrives with ``dep_index=None`` (the PR-3 differential
+        pins that), so only the decision facts cross the pipe."""
+        vstats = prepared.payload
+        if vstats is not None and vstats.dep_index is not None:
+            prepared = dataclasses.replace(
+                prepared, payload=dataclasses.replace(vstats, dep_index=None)
+            )
+        return prepared
+
+    def export_prepare_state(self) -> dict:
+        return {"prev_records": self._prev_records}
+
+    def import_prepare_state(self, state: dict) -> None:
+        self.restore_records(state.get("prev_records"))
+
+    def decided_prepare_state(
+        self, prepared: PreparedBlock, abort_tids: frozenset
+    ) -> dict:
+        """Rule-3 records of this block, computed at decision time.
+
+        ``commit_block`` derives ``_prev_records`` from the transactions'
+        final statuses, which are fully determined once the certificate's
+        vetoes are known — marking them here and again in the commit is
+        idempotent, so the pipelined driver can hand the records to the
+        next block's prepare before this block's physical commit runs.
+        """
+        txns = prepared.txns
+        self.force_aborts(txns, abort_tids)
+        for txn in txns:
+            if not txn.aborted:
+                txn.mark_committed()
+        return {"prev_records": HarmonyValidator.records_for(txns)}

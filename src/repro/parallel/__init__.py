@@ -1,0 +1,33 @@
+"""True parallel execution: process-pool prepares + inter-block pipelining.
+
+This package turns the simulated parallelism of :mod:`repro.sim.scheduler`
+into measured wall-clock speedup on real cores, without touching a single
+decision bit:
+
+- :mod:`repro.parallel.backend` — a ``concurrent.futures`` process-pool
+  backend for per-shard ``prepare_block`` fan-out. Worker processes hold
+  their own replica of the (deterministic) state, advanced by shipped
+  per-block write deltas, so only sub-blocks and decisions cross the pipe.
+- :mod:`repro.parallel.pipeline` — the inter-block pipeline drivers:
+  block *N+1*'s simulation/validation overlaps block *N*'s commit
+  whenever the executor's snapshot lag allows it (Harmony inter-block).
+- :mod:`repro.parallel.replay` — pipelined recovery/replica replay.
+
+``backend="serial"`` (the default everywhere) is the differential
+reference: the process backend is held bit-identical to it in decisions,
+state hashes and certificate chains.
+"""
+
+from repro.parallel.backend import (
+    ProcessPrepareBackend,
+    StalePrepareError,
+    available_cores,
+    make_prepare_backend,
+)
+
+__all__ = [
+    "ProcessPrepareBackend",
+    "StalePrepareError",
+    "available_cores",
+    "make_prepare_backend",
+]

@@ -1,0 +1,397 @@
+"""Process-pool prepare backend: per-shard ``prepare_block`` on real cores.
+
+The deterministic prepare/commit split (PR 4) makes per-shard prepares
+embarrassingly parallel: a prepare is a pure function of (sub-block,
+snapshot at a known height, cross-block prepare state). This backend runs
+them in worker *processes* — the only way Python buys wall-clock
+parallelism for CPU-bound work — while the main process keeps every
+authoritative artifact: ledgers, block log, votes, certificates, commits.
+
+Design:
+
+- **One single-worker pool per process slot.** Shards are assigned
+  round-robin to ``backend_workers`` slots (default: one per shard), so a
+  shard's prepares always land in the same process and its worker-side
+  state advances monotonically.
+- **Workers never commit.** Each worker holds a full storage engine for
+  the shards it owns (preloaded from the deterministic genesis split) plus
+  bare multi-version stores for the peers it may read across shards. All
+  of them advance by *shipped deltas*: after the main process commits
+  global block *b* it records every shard's ordered writes
+  (:meth:`ProcessPrepareBackend.advance`), and the next task replays them
+  worker-side with ``MVStore.apply_block`` — no state snapshot is ever
+  re-shipped.
+- **The cache key is (shard, block height, epoch).** Every task asserts
+  each worker store sits exactly at the expected committed height and
+  invalidation epoch before preparing; a miss raises
+  :class:`StalePrepareError` instead of silently preparing against a stale
+  snapshot. :meth:`ProcessPrepareBackend.invalidate` (fired by
+  ``ShardGroup.rejoin`` through the chain's listener) bumps the epoch and
+  ships a reset — base state at the deepest snapshot height any prepare
+  can request plus the last ``lag`` blocks' writes under their real ids,
+  so historical snapshot reads stay exact.
+- **Results detach before the pipe.** Executors strip live store views /
+  derived indexes from their ``PreparedBlock`` payloads worker-side
+  (``detach_prepared``) and rebuild them against the main process's stores
+  (``attach_prepared``), which are at least at the prepare height when the
+  result is collected.
+
+Decisions, state hashes and certificate chains are bit-identical to
+``backend="serial"``; simulated timing *metrics* may differ (a worker
+engine's buffer pool sees only prepare reads, the main engine's only
+commits — costs never feed back into decisions).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.shard.federated import FederatedSnapshot
+from repro.sim.costs import CostModel
+from repro.storage.engine import StorageEngine
+from repro.storage.mvstore import MVStore
+from repro.storage.wal import LogMode
+
+
+class StalePrepareError(RuntimeError):
+    """A worker was asked to prepare against a stale store snapshot."""
+
+
+def available_cores() -> int:
+    """Cores this process may actually schedule on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def make_prepare_backend(config, workload, num_shards: int):
+    """The chain-facing constructor: ``None`` unless ``backend="process"``
+    applies (two-phase executor, no faults armed — callers gate those)."""
+    if getattr(config, "backend", "serial") != "process":
+        return None
+    if config.system not in ("harmony", "aria", "rbc"):
+        # serial execution has no prepare/commit seam; SOV-family keeps
+        # the one-shot path
+        return None
+    return ProcessPrepareBackend(config, workload, num_shards)
+
+
+# --------------------------------------------------------------- worker side
+@dataclass
+class ShardReset:
+    """Replaces one shard's worker-side store after rejoin/recovery."""
+
+    shard: int
+    epoch: int
+    #: deepest height a subsequent prepare may snapshot (``height - lag``)
+    base_block: int
+    #: materialized state at ``base_block`` (loaded at version ``-1``,
+    #: visible from every later height)
+    base_state: dict
+    #: the last ``lag`` blocks' ordered writes under their *real* block
+    #: ids, so version checks at historical heights stay exact
+    blocks: list
+
+
+@dataclass
+class PrepareTask:
+    """One worker invocation: advance the cached stores, then prepare."""
+
+    block_id: int
+    #: shard -> sub-block, only this worker's owned shards
+    sub_blocks: dict
+    #: shard -> cross-block prepare state (``export_prepare_state`` /
+    #: ``decided_prepare_state`` of the previous block, main-side)
+    prepare_states: dict
+    #: ordered ``(block_id, [per-shard ordered writes])`` since the last
+    #: task shipped to this worker
+    deltas: list
+    #: pending store replacements (rejoin/recovery invalidation)
+    resets: list = field(default_factory=list)
+    #: committed height every store must sit at before preparing
+    expect_height: int = -1
+    #: per-shard invalidation epochs the worker must have observed
+    expect_epochs: tuple = ()
+
+
+class _WorkerState:
+    """Per-process state: stores for every shard, executors for owned ones."""
+
+    def __init__(self, config, workload, num_shards: int, owned: tuple) -> None:
+        self.num_shards = num_shards
+        self.owned = owned
+        costs = CostModel()
+        if num_shards > 1:
+            from repro.shard.system import build_router
+
+            router = build_router(config, workload)
+            shard_states = router.split_state(workload.initial_state())
+        else:
+            router = None
+            shard_states = [workload.initial_state()]
+        self.router = router
+        self.stores: list = [None] * num_shards
+        self.executors: dict = {}
+        self.epochs = [0] * num_shards
+        from repro.chain.system import build_executor
+
+        for shard in range(num_shards):
+            if shard in owned:
+                engine = StorageEngine(
+                    costs=costs,
+                    profile=config.profile,
+                    pool_pages=config.pool_pages,
+                    log_mode=LogMode.LOGICAL,
+                    checkpoint_interval=config.checkpoint_interval,
+                    incremental_checkpoints=config.checkpoint_incremental,
+                    checkpoint_base_interval=config.checkpoint_base_interval,
+                )
+                engine.preload(shard_states[shard])
+                self.executors[shard] = build_executor(
+                    config, engine, workload.build_registry()
+                )
+                self.stores[shard] = engine.store
+            else:
+                store = MVStore()
+                store.load(shard_states[shard])
+                self.stores[shard] = store
+        if num_shards > 1:
+            stores = self.stores
+            for shard, executor in self.executors.items():
+                executor.snapshot_source = (
+                    lambda snap_block_id, _stores=stores: FederatedSnapshot(
+                        router, _stores, snap_block_id
+                    )
+                )
+                executor.key_scope = (
+                    lambda key, _shard=shard: router.shard_of(key) == _shard
+                )
+
+    def apply_reset(self, reset: ShardReset) -> None:
+        store = MVStore()
+        store.load(reset.base_state)
+        for block_id, writes in reset.blocks:
+            store.apply_block(block_id, writes)
+        # slot swap re-points the federation closures (they capture the
+        # list), mirroring ShardGroup.rejoin on the main side
+        self.stores[reset.shard] = store
+        self.epochs[reset.shard] = reset.epoch
+        executor = self.executors.get(reset.shard)
+        if executor is not None:
+            executor.engine.store = store
+
+    def advance(self, deltas: list) -> None:
+        for block_id, per_shard in deltas:
+            for shard, writes in enumerate(per_shard):
+                store = self.stores[shard]
+                if store.last_committed_block >= block_id:
+                    continue  # a reset already covered this block
+                store.apply_block(block_id, writes)
+
+    def check_fresh(self, task: PrepareTask) -> None:
+        for shard, store in enumerate(self.stores):
+            height = store.last_committed_block
+            if height != task.expect_height:
+                raise StalePrepareError(
+                    f"block {task.block_id}: shard {shard} worker store at "
+                    f"height {height}, expected {task.expect_height}"
+                )
+            if task.expect_epochs and self.epochs[shard] != task.expect_epochs[shard]:
+                raise StalePrepareError(
+                    f"block {task.block_id}: shard {shard} worker store at "
+                    f"epoch {self.epochs[shard]}, expected "
+                    f"{task.expect_epochs[shard]} — rejoin invalidation "
+                    f"never reached this worker"
+                )
+
+
+_WORKER: _WorkerState | None = None
+
+
+def _worker_init(config, workload, num_shards: int, owned: tuple) -> None:
+    global _WORKER
+    _WORKER = _WorkerState(config, workload, num_shards, owned)
+
+
+def _worker_run(task: PrepareTask) -> dict:
+    state = _WORKER
+    for reset in task.resets:
+        state.apply_reset(reset)
+    state.advance(task.deltas)
+    state.check_fresh(task)
+    results = {}
+    for shard in sorted(task.sub_blocks):
+        executor = state.executors[shard]
+        executor.import_prepare_state(task.prepare_states.get(shard, {}))
+        block = task.sub_blocks[shard]
+        prepared = executor.prepare_block(block.block_id, block.build_txns())
+        results[shard] = executor.detach_prepared(prepared)
+    return results
+
+
+# ----------------------------------------------------------------- main side
+class ProcessPrepareBackend:
+    """Fans per-shard prepares out to worker processes; commits stay local."""
+
+    def __init__(self, config, workload, num_shards: int) -> None:
+        self.num_shards = num_shards
+        workers = config.backend_workers or num_shards
+        workers = max(1, min(workers, num_shards))
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        #: shard -> pool slot (round-robin keeps per-shard state sticky)
+        self._slot_of_shard = {s: s % workers for s in range(num_shards)}
+        owned = [
+            tuple(s for s in range(num_shards) if s % workers == slot)
+            for slot in range(workers)
+        ]
+        self._pools = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=ctx,
+                initializer=_worker_init,
+                initargs=(config, workload, num_shards, owned[slot]),
+            )
+            for slot in range(workers)
+        ]
+        #: committed blocks not yet shipped to every worker
+        self._delta_log: list = []
+        self._cursor = [0] * workers
+        self._pending_resets: list[list[ShardReset]] = [[] for _ in range(workers)]
+        self._epochs = [0] * num_shards
+        self._height = -1
+        self._closed = False
+
+    # ---------------------------------------------------------------- submit
+    def submit(self, sub_blocks: dict, prepare_states: dict) -> list:
+        """Dispatch one global block's prepares; returns per-pool futures.
+
+        ``sub_blocks`` must cover every shard (block-locked advancement);
+        ``prepare_states`` carries each shard's cross-block decision state
+        as of the previous block's certificate.
+        """
+        block_id = next(iter(sub_blocks.values())).block_id
+        futures = []
+        for slot, pool in enumerate(self._pools):
+            deltas = self._delta_log[self._cursor[slot] :]
+            self._cursor[slot] = len(self._delta_log)
+            owned = [s for s in sub_blocks if self._slot_of_shard[s] == slot]
+            task = PrepareTask(
+                block_id=block_id,
+                sub_blocks={s: sub_blocks[s] for s in owned},
+                prepare_states={s: prepare_states.get(s, {}) for s in owned},
+                deltas=deltas,
+                resets=self._pending_resets[slot],
+                expect_height=self._height,
+                expect_epochs=tuple(self._epochs),
+            )
+            self._pending_resets[slot] = []
+            futures.append(pool.submit(_worker_run, task))
+        floor = min(self._cursor)
+        if floor:  # every worker has the prefix — drop it
+            del self._delta_log[:floor]
+            self._cursor = [c - floor for c in self._cursor]
+        return futures
+
+    def collect(self, futures: list, executors: dict) -> dict:
+        """Gather the detached prepares and rebind them to the main stores."""
+        prepared: dict = {}
+        for future in futures:
+            prepared.update(future.result())
+        return {
+            shard: executors[shard].attach_prepared(prep)
+            for shard, prep in prepared.items()
+        }
+
+    def prepare(self, sub_blocks: dict, nodes: list) -> dict:
+        """The sequential driver: submit, ingest main-side, collect.
+
+        Main-side ingest (signature verify + ledger + block log) overlaps
+        the worker prepares — the ledgers stay authoritative here while
+        the workers' transaction copies carry the decisions.
+        """
+        prepare_states = {
+            shard: nodes[shard].executor.export_prepare_state()
+            for shard in sub_blocks
+        }
+        futures = self.submit(sub_blocks, prepare_states)
+        verify_costs = {}
+        for shard, block in sub_blocks.items():
+            _txns, verify_costs[shard] = nodes[shard].ingest_block(block)
+        prepared = self.collect(
+            futures, {shard: nodes[shard].executor for shard in sub_blocks}
+        )
+        for shard, prep in prepared.items():
+            prep.extra_pre_exec_us += verify_costs[shard]
+        return prepared
+
+    # --------------------------------------------------------------- advance
+    def advance(self, block_id: int, per_shard_writes: list) -> None:
+        """Record a committed block's per-shard ordered writes for shipping."""
+        if block_id != self._height + 1:
+            raise ValueError(
+                f"advance out of order: block {block_id} after height {self._height}"
+            )
+        self._delta_log.append((block_id, per_shard_writes))
+        self._height = block_id
+
+    # ---------------------------------------------------------- invalidation
+    def invalidate(self, shard: int, store, lag: int = 2) -> None:
+        """Invalidate every worker's cached store for ``shard``.
+
+        Called on rejoin/recovery: the recovered store replaces the
+        worker-side replica wholesale. The reset ships state materialized
+        at ``height - lag`` (the deepest snapshot any prepare can request)
+        plus the newer blocks' writes under their real ids, so historical
+        version checks behave exactly as on the main store.
+        """
+        height = store.last_committed_block
+        # clamp at -1: materialize_at(-1) is the genesis load, visible
+        # from every height
+        base_block = max(-1, height - lag)
+        epoch = self._epochs[shard] + 1
+        self._epochs[shard] = epoch
+        reset = ShardReset(
+            shard=shard,
+            epoch=epoch,
+            base_block=base_block,
+            base_state=store.materialize_at(base_block),
+            blocks=[
+                (b, store.writes_in_block(b))
+                for b in range(max(0, base_block + 1), height + 1)
+            ],
+        )
+        for slot in range(len(self._pools)):
+            self._pending_resets[slot].append(reset)
+
+    def resync(self, stores: list, lag: int = 2) -> None:
+        """Full invalidation: re-seed every worker store from the main ones.
+
+        Used after a fault-induced serial fallback window — deltas were
+        not recorded while the backend was bypassed, so every shard's
+        cache is stale, not just the recovered one.
+        """
+        for shard, store in enumerate(stores):
+            self.invalidate(shard, store, lag=lag)
+        self._delta_log.clear()
+        self._cursor = [0] * len(self._pools)
+        self._height = stores[0].last_committed_block
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for pool in self._pools:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass

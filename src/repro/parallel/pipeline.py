@@ -1,0 +1,224 @@
+"""Inter-block pipeline drivers: overlap block N's commit with N+1's prepare.
+
+The paper's pipelining story (Section 3.4) on real cores: with a snapshot
+lag of 2 (Harmony inter-block), block *i*'s simulation/validation reads
+snapshot *i−2* and validates against block *i−1*'s *decision facts* — both
+known before block *i−1*'s physical commit runs. So the drivers here
+dispatch block *i*'s prepare to the worker pool, run block *i−1*'s commit
+on the main process while the workers chew, then collect, certify and roll
+forward.
+
+Decision-stream equivalence with the sequential driver is exact:
+
+- block *i* is formed from the same retry queue — retries are final at
+  certificate time (``decided_prepare_state`` applies the vetoes to the
+  very transaction objects the deferred commit later re-marks);
+- the worker validates block *i* against ``decided_prepare_state`` of
+  block *i−1*, which equals the ``_prev_records`` the sequential path
+  would have after committing it;
+- certificates are appended in block order, before the *next* block's
+  certificate and after the previous one — the chain is byte-identical.
+
+Both drivers delegate per-block accounting to the chains' own absorb
+helpers, so sequential and pipelined runs cannot drift in bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.shard.twopc import derive_votes
+from repro.sim.metrics import RunMetrics
+from repro.sim.rng import SeededRng
+
+
+@dataclass
+class _PendingBlock:
+    """A certified block whose physical commit is deferred one iteration."""
+
+    index: int
+    block: object
+    participants: list
+    cross_tids: set
+    sub_blocks: dict
+    certificate: object
+    prepared: dict
+    merged_txns: list
+
+
+def _commit_pending(chain, backend, state, pending: _PendingBlock) -> None:
+    from repro.shard.system import GlobalBlockOutcome
+
+    executions = chain.group.finish(pending.prepared, pending.certificate.abort_tids)
+    backend.advance(
+        pending.block.block_id,
+        [
+            node.engine.writes_of(pending.block.block_id)
+            for node in chain.group.nodes
+        ],
+    )
+    outcome = GlobalBlockOutcome(
+        block=pending.block,
+        participants=pending.participants,
+        cross_tids=pending.cross_tids,
+        sub_blocks=pending.sub_blocks,
+        certificate=pending.certificate,
+        executions=executions,
+    )
+    chain._absorb_block(state, pending.index, outcome, merged_txns=pending.merged_txns)
+
+
+def run_sharded_pipelined(chain) -> RunMetrics:
+    """The pipelined driver for :class:`~repro.shard.system.ShardedBlockchain`.
+
+    Caller guarantees (``_pipelined_ready``): process backend, Harmony
+    inter-block (lag >= 2), no fault hooks armed.
+    """
+    config = chain.config
+    workload = chain.workload
+    backend = chain._ensure_backend()
+    if backend is None:  # suspended under our feet (fault armed mid-setup)
+        raise RuntimeError("pipelined run requested but the backend is suspended")
+    rng, state = chain._begin_run()
+    nodes = chain.group.nodes
+    executors = {shard: node.executor for shard, node in enumerate(nodes)}
+
+    retry_queue: list = []
+    decided_states = {
+        shard: executor.export_prepare_state()
+        for shard, executor in executors.items()
+    }
+    pending: _PendingBlock | None = None
+    for i in range(config.num_blocks):
+        retries = retry_queue[: config.block_size]
+        retry_queue = retry_queue[config.block_size :]
+        fresh = workload.generate_block(config.block_size - len(retries), rng)
+        block = chain.ordering.form_block(retries + fresh)
+        participants = [
+            chain.router.participants_of(workload, spec) for spec in block.specs
+        ]
+        chain.participants_log.append(participants)
+        cross_tids = {
+            block.first_tid + j
+            for j, shards in enumerate(participants)
+            if len(shards) > 1
+        }
+        sub_blocks = chain.sequencer.split(block, participants)
+
+        # dispatch block i's prepares, then use the wait to do main-side
+        # work: ingest block i and commit block i-1.
+        futures = backend.submit(sub_blocks, decided_states)
+        verify_costs = {}
+        for shard, node in enumerate(nodes):
+            _txns, verify_costs[shard] = node.ingest_block(sub_blocks[shard])
+        if pending is not None:
+            _commit_pending(chain, backend, state, pending)
+            pending = None
+
+        prepared = backend.collect(futures, executors)
+        for shard, prep in prepared.items():
+            prep.extra_pre_exec_us += verify_costs[shard]
+
+        votes = derive_votes(prepared, cross_tids)
+        expected = {
+            block.first_tid + j: shards
+            for j, shards in enumerate(participants)
+            if len(shards) > 1
+        }
+        certificate = chain.cert_log.append(votes, block.block_id, expected=expected)
+        # the decision is final here: mark the vetoes, derive the records
+        # block i+1 validates against, and queue the retries — all before
+        # (and idempotent with) the deferred physical commit.
+        decided_states = {
+            shard: executors[shard].decided_prepare_state(
+                prepared[shard], certificate.abort_tids
+            )
+            for shard in prepared
+        }
+        merged_txns = chain.merged_view(
+            block, participants, {s: p.txns for s, p in prepared.items()}
+        )
+        if config.retry_aborted:
+            retry_queue.extend(t.spec for t in merged_txns if t.aborted)
+        pending = _PendingBlock(
+            index=i,
+            block=block,
+            participants=participants,
+            cross_tids=cross_tids,
+            sub_blocks=sub_blocks,
+            certificate=certificate,
+            prepared=prepared,
+            merged_txns=merged_txns,
+        )
+    if pending is not None:
+        _commit_pending(chain, backend, state, pending)
+    metrics = chain._finish_run(state)
+    metrics.extra["pipelined"] = True
+    chain.close_backend()
+    return metrics
+
+
+def run_oe_pipelined(chain) -> RunMetrics:
+    """The pipelined driver for the unsharded
+    :class:`~repro.chain.system.OEBlockchain` (one worker, real overlap of
+    prepare with the main process's commit + ingest)."""
+    from repro.parallel.backend import make_prepare_backend
+
+    config = chain.config
+    backend = make_prepare_backend(config, chain.workload, 1)
+    if backend is None:
+        raise RuntimeError(f"no process backend for system {config.system!r}")
+    node = chain.node
+    rng = SeededRng(config.seed, f"oe/{config.system}/{chain.workload.name}")
+    metrics = RunMetrics(system=config.system, workload=chain.workload.name)
+    interval = chain.consensus.min_block_interval_us(
+        chain._block_bytes(), config.num_replicas
+    )
+
+    timings: list = []
+    executions: list = []
+    retry_queue: list = []
+    decided_state = node.executor.export_prepare_state()
+    pending = None  # (block index, PreparedBlock)
+    try:
+        for i in range(config.num_blocks):
+            retries = retry_queue[: config.block_size]
+            retry_queue = retry_queue[config.block_size :]
+            fresh = chain.workload.generate_block(
+                config.block_size - len(retries), rng
+            )
+            block = chain.ordering.form_block(retries + fresh)
+
+            futures = backend.submit({0: block}, {0: decided_state})
+            _txns, verify_cost = node.ingest_block(block)
+            if pending is not None:
+                prev_i, prev_prepared = pending
+                execution = node.finish_block(prev_prepared)
+                backend.advance(
+                    execution.block_id, [node.engine.writes_of(execution.block_id)]
+                )
+                chain._absorb_execution(
+                    metrics, timings, executions, prev_i, interval, execution
+                )
+                pending = None
+
+            prepared = backend.collect(futures, {0: node.executor})[0]
+            prepared.extra_pre_exec_us += verify_cost
+            decided_state = node.executor.decided_prepare_state(
+                prepared, frozenset()
+            )
+            if config.retry_aborted:
+                retry_queue.extend(t.spec for t in prepared.txns if t.aborted)
+            pending = (i, prepared)
+        if pending is not None:
+            prev_i, prev_prepared = pending
+            execution = node.finish_block(prev_prepared)
+            chain._absorb_execution(
+                metrics, timings, executions, prev_i, interval, execution
+            )
+    finally:
+        backend.close()
+    metrics = chain._finalize_metrics(metrics, timings, executions, interval)
+    metrics.extra["backend"] = "process"
+    metrics.extra["pipelined"] = True
+    return metrics

@@ -26,6 +26,7 @@ from repro.core.harmony import HarmonyExecutor
 from repro.shard.federated import FederatedSnapshot
 from repro.shard.router import ShardRouter
 from repro.shard.twopc import CertificateLog
+from repro.sim.scheduler import BlockTiming, replay_lanes
 
 
 @dataclass
@@ -42,6 +43,10 @@ class ShardRecovery:
     #: supervisor back-fill per-block decision records the crashed shard
     #: never surfaced through the live pipeline
     replayed_blocks: list = None
+    #: modeled replay makespans (``{"serial_us", "pipelined_us",
+    #: "speedup"}``) when the executor's snapshot lag legalized the
+    #: interleaved replay; ``None`` for lag-1 executors or empty replays
+    replay_sim: dict | None = None
 
 
 def recover_shard_node(
@@ -50,6 +55,8 @@ def recover_shard_node(
     peer_stores: list,
     router: ShardRouter,
     cert_log: CertificateLog,
+    pipelined: bool = True,
+    cores: int = 8,
 ) -> ShardRecovery:
     """Rebuild one shard's replica from checkpoint + block log + certificates.
 
@@ -57,6 +64,15 @@ def recover_shard_node(
     replica group (the crashed shard's slot is replaced by the recovered
     store); ``cert_log`` is the global certificate stream, indexed by
     block id.
+
+    With ``pipelined`` (the default) and an executor whose snapshot lag is
+    >= 2 (Harmony inter-block), replay interleaves block *i*'s prepare with
+    block *i−1*'s commit: the decisions come from the certificate stream,
+    so block *i* validates against block *i−1*'s *decided* records before
+    that block's physical commit runs — the same legality argument as the
+    live pipeline (:mod:`repro.parallel.pipeline`), and bit-identical state
+    either way. ``replay_sim`` on the result reports the modeled makespan
+    of both disciplines on a ``cores``-core replica.
     """
     engine, replay_from, checkpoint = rebuild_engine(crashed.engine)
     executor = crashed.clone_executor(engine)
@@ -74,8 +90,16 @@ def recover_shard_node(
         )
         executor.key_scope = lambda key: router.shard_of(key) == shard_id
 
+    interleave = (
+        pipelined
+        and isinstance(executor, HarmonyExecutor)
+        and executor.config.inter_block
+        and executor.config.effective_lag >= 2
+    )
     recovered = ReplicaNode(f"{crashed.name}-recovered", executor, None)
     replayed: list[tuple[int, list]] = []
+    timings: list[BlockTiming] = []
+    pending = None  # (PreparedBlock, abort_tids) with its commit deferred
     for block in crashed.engine.block_log.blocks_after(-1):
         recovered.ledger.append(block)
         recovered.engine.block_log.append(block)
@@ -92,14 +116,70 @@ def recover_shard_node(
                     f"certificate stream misaligned: position {block.block_id} "
                     f"holds block {certificate.block_id}"
                 )
-            prepared = executor.prepare_block(block.block_id, txns)
-            executor.commit_block(prepared, certificate.abort_tids)
+            if interleave:
+                # pipelined replay: validate block i against block i-1's
+                # *decided* records (certificate vetoes applied), prepare,
+                # and only then run block i-1's deferred commit — the
+                # commit recomputes the identical records, so the
+                # interleave is idempotent with the serial order.
+                if pending is not None:
+                    prev_prepared, prev_aborts = pending
+                    executor.import_prepare_state(
+                        executor.decided_prepare_state(prev_prepared, prev_aborts)
+                    )
+                    prepared = executor.prepare_block(block.block_id, txns)
+                    execution = executor.commit_block(prev_prepared, prev_aborts)
+                    timings.append(_replay_timing(execution))
+                else:
+                    prepared = executor.prepare_block(block.block_id, txns)
+                pending = (prepared, certificate.abort_tids)
+            else:
+                prepared = executor.prepare_block(block.block_id, txns)
+                execution = executor.commit_block(prepared, certificate.abort_tids)
+                timings.append(_replay_timing(execution))
         else:
-            executor.execute_block(block.block_id, txns)
+            execution = executor.execute_block(block.block_id, txns)
+            timings.append(_replay_timing(execution))
         replayed.append((block.block_id, txns))
+    if pending is not None:
+        prev_prepared, prev_aborts = pending
+        execution = executor.commit_block(prev_prepared, prev_aborts)
+        timings.append(_replay_timing(execution))
+    replay_sim = None
+    if timings:
+        lag = (
+            executor.config.effective_lag
+            if isinstance(executor, HarmonyExecutor)
+            else 1
+        )
+        serial, overlapped = replay_lanes(
+            timings, num_cores=cores, inter_block=lag >= 2, snapshot_lag=max(lag, 1)
+        )
+        replay_sim = {
+            "serial_us": serial.makespan_us,
+            "pipelined_us": overlapped.makespan_us,
+            "speedup": (
+                serial.makespan_us / overlapped.makespan_us
+                if overlapped.makespan_us > 0
+                else 1.0
+            ),
+        }
     return ShardRecovery(
         node=recovered,
         replay_from=replay_from,
         decision_digest=decision_digest(replayed),
         replayed_blocks=replayed,
+        replay_sim=replay_sim,
+    )
+
+
+def _replay_timing(execution) -> BlockTiming:
+    """Replay has no arrival pacing: every logged block is ready at t=0."""
+    return BlockTiming(
+        arrival_us=0.0,
+        sim_durations=execution.sim_durations_us,
+        commit_durations=execution.commit_durations_us,
+        serial_commit=execution.serial_commit,
+        pre_exec_serial_us=execution.pre_exec_serial_us,
+        post_commit_serial_us=execution.post_commit_serial_us,
     )

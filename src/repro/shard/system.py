@@ -42,7 +42,7 @@ from repro.consensus.network import NetworkModel
 from repro.dcc.oracle import SerializabilityOracle
 from repro.shard.federated import FederatedSnapshot
 from repro.shard.router import ShardRouter
-from repro.shard.twopc import CertificateLog, ShardVote
+from repro.shard.twopc import CertificateLog, derive_votes
 from repro.sim.costs import CostModel
 from repro.sim.metrics import BlockStats, RunMetrics
 from repro.sim.rng import SeededRng
@@ -75,6 +75,21 @@ class ShardConfig(OEConfig):
     keep_history: bool = False
 
 
+def build_router(config: ShardConfig, workload) -> ShardRouter:
+    """The deterministic router for ``config`` — module-level so worker
+    processes of the parallel prepare backend rebuild the identical
+    routing from (config, workload) alone."""
+    if config.router_policy == "workload":
+        return ShardRouter.for_workload(workload, config.num_shards)
+    if config.router_policy == "range":
+        return ShardRouter(
+            config.num_shards,
+            policy="range",
+            boundaries=list(config.range_boundaries),
+        )
+    return ShardRouter(config.num_shards, policy="hash")
+
+
 @dataclass
 class GlobalBlockRecord:
     """One global block's outcome, kept when ``keep_history`` is set."""
@@ -98,6 +113,26 @@ class GlobalBlockOutcome:
     #: shard -> BlockExecution; crashed shards (``crash_after_prepare``)
     #: have no entry — they voted but never committed
     executions: dict
+
+
+@dataclass
+class _ShardedRunState:
+    """Accumulators shared by the sequential and pipelined run drivers."""
+
+    metrics: RunMetrics
+    interval: float
+    remote_round_us: float
+    shard_timings: list
+    merged_blocks: list = None
+    per_block_committed: list = None
+    cross_txns_total: int = 0
+    cross_aborted_total: int = 0
+
+    def __post_init__(self) -> None:
+        self.merged_blocks = [] if self.merged_blocks is None else self.merged_blocks
+        self.per_block_committed = (
+            [] if self.per_block_committed is None else self.per_block_committed
+        )
 
 
 class ShardGroup:
@@ -141,6 +176,10 @@ class ShardGroup:
         #: federation closures — :meth:`rejoin` mutates slots in place so
         #: peers re-point at a recovered store without rewiring
         self._stores: list | None = None
+        #: ``listener(shard, node)`` callbacks fired by :meth:`rejoin` —
+        #: the process-prepare backend registers one so worker-side store
+        #: caches are invalidated whenever a recovered shard re-enters
+        self.rejoin_listeners: list = []
         if config.num_shards > 1:
             stores = [node.engine.store for node in self.nodes]
             self._stores = stores
@@ -205,6 +244,8 @@ class ShardGroup:
             node.executor.key_scope = (
                 lambda key, _shard=shard: router.shard_of(key) == _shard
             )
+        for listener in self.rejoin_listeners:
+            listener(shard, node)
 
     def state_hashes(self) -> list[str]:
         return [node.state_hash() for node in self.nodes]
@@ -254,18 +295,73 @@ class ShardedBlockchain:
         #: :class:`~repro.shard.twopc.VoteChannel` here lets fault plans
         #: drop/duplicate/delay votes on the wire.
         self.vote_channel = None
+        #: the process-pool prepare backend (``config.backend="process"``),
+        #: built lazily on the first fault-free block; ``None`` = serial
+        self._prepare_backend = None
+        #: sticky serial fallback: set when a fault directive fires (the
+        #: injected hooks must run in-process) and cleared by rejoin,
+        #: which resyncs the workers' store caches
+        self._backend_suspended = False
+        self.group.rejoin_listeners.append(self._on_rejoin)
+
+    # ------------------------------------------------------ prepare backend
+    def _backend_lag(self) -> int:
+        if self.config.system == "harmony":
+            return self.config.harmony.effective_lag
+        return 1
+
+    def _ensure_backend(self):
+        """The process prepare backend, or ``None`` for the serial path.
+
+        Fault-armed chains (hooks or a vote channel installed) never get a
+        backend: injected faults must fire inside this process, so they
+        auto-fall back to the serial reference path.
+        """
+        if (
+            self.config.backend != "process"
+            or self._backend_suspended
+            or self.fault_hook is not None
+            or self.vote_channel is not None
+        ):
+            return None
+        if self._prepare_backend is None:
+            from repro.parallel.backend import make_prepare_backend
+
+            self._prepare_backend = make_prepare_backend(
+                self.config, self.workload, self.config.num_shards
+            )
+            if self._prepare_backend is None:
+                self._backend_suspended = True  # unsupported scheme: stay serial
+        return self._prepare_backend
+
+    def _suspend_backend(self) -> None:
+        """Serial fallback until a rejoin resyncs the worker caches."""
+        if self.config.backend == "process":
+            self._backend_suspended = True
+
+    def _on_rejoin(self, shard: int, node: ReplicaNode) -> None:
+        """Rejoin listener: worker-side store caches for *every* shard are
+        stale (no deltas were recorded during the serial fallback window),
+        so re-seed them all from the main stores and lift the fallback."""
+        backend = self._prepare_backend
+        if backend is None:
+            return
+        backend.resync(
+            [n.engine.store for n in self.group.nodes], lag=self._backend_lag()
+        )
+        if self.fault_hook is None and self.vote_channel is None:
+            self._backend_suspended = False
+
+    def close_backend(self) -> None:
+        """Shut the worker pools down (idempotent); the chain stays usable
+        on the serial path."""
+        if self._prepare_backend is not None:
+            self._prepare_backend.close()
+            self._prepare_backend = None
+        self._suspend_backend()
 
     def _build_router(self) -> ShardRouter:
-        config = self.config
-        if config.router_policy == "workload":
-            return ShardRouter.for_workload(self.workload, config.num_shards)
-        if config.router_policy == "range":
-            return ShardRouter(
-                config.num_shards,
-                policy="range",
-                boundaries=list(config.range_boundaries),
-            )
-        return ShardRouter(config.num_shards, policy="hash")
+        return build_router(self.config, self.workload)
 
     # ------------------------------------------------------------------ run
     def _block_bytes(self) -> int:
@@ -335,22 +431,20 @@ class ShardedBlockchain:
             if len(shards) > 1
         }
         sub_blocks = self.sequencer.split(block, participants)
-        prepared = self.group.prepare(sub_blocks, skip=skip_prepare)
+        faulted = bool(skip_prepare or skip_commit)
+        if faulted:
+            # injected faults must fire in-process; stay serial until a
+            # rejoin resyncs the worker caches
+            self._suspend_backend()
+        backend = None if (faulted or hook is not None) else self._ensure_backend()
+        if backend is not None:
+            prepared = backend.prepare(sub_blocks, self.group.nodes)
+        else:
+            prepared = self.group.prepare(sub_blocks, skip=skip_prepare)
 
         # --- ordered vote exchange: prepare outcomes become the block
         # stream's commit certificate (deterministic all-yes rule).
-        votes: list[ShardVote] = []
-        for shard, prep in prepared.items():
-            for txn in prep.txns:
-                if txn.tid in cross_tids:
-                    votes.append(
-                        ShardVote(
-                            tid=txn.tid,
-                            shard_id=shard,
-                            commit=not txn.aborted,
-                            reason=txn.abort_reason.value if txn.aborted else None,
-                        )
-                    )
+        votes = derive_votes(prepared, cross_tids)
         if self.vote_channel is not None:
             votes = self.vote_channel.deliver(votes, block.block_id)
         # expected participant sets arm the timeout→abort degradation for
@@ -365,6 +459,11 @@ class ShardedBlockchain:
         executions = self.group.finish(
             prepared, certificate.abort_tids, skip=skip_commit
         )
+        if backend is not None:
+            backend.advance(
+                block.block_id,
+                [node.engine.writes_of(block.block_id) for node in self.group.nodes],
+            )
         return GlobalBlockOutcome(
             block=block,
             participants=participants,
@@ -374,118 +473,151 @@ class ShardedBlockchain:
             executions=executions,
         )
 
-    def run(self) -> RunMetrics:
-        config = self.config
-        workload = self.workload
-        rng = SeededRng(config.seed, f"oe/{config.system}/{workload.name}")
-        metrics = RunMetrics(system=config.system, workload=workload.name)
-
-        interval = self.consensus.min_block_interval_us(
-            self._block_bytes(), config.num_replicas
+    def _pipelined_ready(self) -> bool:
+        """Whether the inter-block pipelined driver may run: requested,
+        process backend available, and a snapshot lag that legalizes
+        preparing block *i* before block *i-1*'s commit."""
+        return (
+            self.config.pipelined
+            and self.config.backend == "process"
+            and self._inter_block_enabled()
+            and self.config.harmony.effective_lag >= 2
+            and self.fault_hook is None
+            and self.vote_channel is None
         )
-        consensus_latency = self._consensus_latency_us()
-        remote_round_us = self._remote_read_round_us()
 
-        shard_timings: list[list[BlockTiming]] = [
-            [] for _ in range(config.num_shards)
-        ]
-        merged_blocks: list[tuple[int, list]] = []
-        per_block_committed: list[int] = []
-        cross_txns_total = 0
-        cross_aborted_total = 0
+    def run(self) -> RunMetrics:
+        if self._pipelined_ready():
+            from repro.parallel.pipeline import run_sharded_pipelined
+
+            return run_sharded_pipelined(self)
+        rng, state = self._begin_run()
+        config = self.config
         retry_queue: list = []
-
         for i in range(config.num_blocks):
             retries = retry_queue[: config.block_size]
             retry_queue = retry_queue[config.block_size :]
-            fresh = workload.generate_block(config.block_size - len(retries), rng)
+            fresh = self.workload.generate_block(
+                config.block_size - len(retries), rng
+            )
             block = self.ordering.form_block(retries + fresh)
-
             outcome = self.process_global_block(block)
-            participants = outcome.participants
-            cross_tids = outcome.cross_tids
-            sub_blocks = outcome.sub_blocks
-            certificate = outcome.certificate
-            executions = outcome.executions
-            cross_txns_total += len(cross_tids)
-            cross_aborted_total += len(certificate.abort_tids)
-
-            # --- merged (global) view: one runtime record per transaction,
-            # taken from its coordinator shard (lowest participant id).
-            merged_txns = []
-            by_shard_tid = {
-                shard: {t.tid: t for t in execution.txns}
-                for shard, execution in executions.items()
-            }
-            for j in range(block.size):
-                tid = block.first_tid + j
-                coordinator = min(participants[j])
-                merged_txns.append(by_shard_tid[coordinator][tid])
-            merged_blocks.append((block.block_id, merged_txns))
-
+            merged_txns = self._absorb_block(state, i, outcome)
             if config.retry_aborted:
                 retry_queue.extend(t.spec for t in merged_txns if t.aborted)
+        return self._finish_run(state)
 
-            stats = BlockStats(block_id=block.block_id)
-            for txn in merged_txns:
-                if txn.committed:
-                    stats.committed += 1
-                elif txn.aborted:
-                    stats.aborted += 1
-            if config.measure_false_aborts:
-                stats.false_aborts = SerializabilityOracle.count_false_aborts(
-                    merged_txns
-                )
-            # validator events are per-shard observations (a cross-shard
-            # transaction is validated at every participant)
-            stats.dangerous_structure_hits = sum(
-                e.stats.dangerous_structure_hits for e in executions.values()
+    # ------------------------------------------------- run bookkeeping
+    # The sequential loop above and the pipelined driver
+    # (repro.parallel.pipeline) share these, so the two paths can never
+    # drift in how a block's outcome is accounted.
+    def _begin_run(self):
+        config = self.config
+        rng = SeededRng(config.seed, f"oe/{config.system}/{self.workload.name}")
+        state = _ShardedRunState(
+            metrics=RunMetrics(system=config.system, workload=self.workload.name),
+            interval=self.consensus.min_block_interval_us(
+                self._block_bytes(), config.num_replicas
+            ),
+            remote_round_us=self._remote_read_round_us(),
+            shard_timings=[[] for _ in range(config.num_shards)],
+        )
+        return rng, state
+
+    def merged_view(self, block, participants, txns_by_shard: dict) -> list:
+        """One runtime record per transaction, from its coordinator shard
+        (lowest participant id). ``txns_by_shard`` maps shard -> txns."""
+        by_shard_tid = {
+            shard: {t.tid: t for t in txns} for shard, txns in txns_by_shard.items()
+        }
+        return [
+            by_shard_tid[min(participants[j])][block.first_tid + j]
+            for j in range(block.size)
+        ]
+
+    def _absorb_block(
+        self, state, i: int, outcome: GlobalBlockOutcome, merged_txns: list = None
+    ) -> list:
+        config = self.config
+        block = outcome.block
+        executions = outcome.executions
+        cross_tids = outcome.cross_tids
+        state.cross_txns_total += len(cross_tids)
+        state.cross_aborted_total += len(outcome.certificate.abort_tids)
+
+        # --- merged (global) view: one runtime record per transaction,
+        # taken from its coordinator shard (lowest participant id).
+        if merged_txns is None:
+            merged_txns = self.merged_view(
+                block,
+                outcome.participants,
+                {shard: e.txns for shard, e in executions.items()},
             )
-            metrics.merge_block(stats)
-            per_block_committed.append(stats.committed)
+        state.merged_blocks.append((block.block_id, merged_txns))
 
-            for shard, execution in executions.items():
-                # serial front-end: each shard ingests only its sub-block
-                execution.pre_exec_serial_us += (
-                    sub_blocks[shard].size * self.costs.ingest_us
-                )
-                sim_durations = list(execution.sim_durations_us)
-                cross_here = 0
-                for idx, txn in enumerate(execution.txns):
-                    if txn.tid in cross_tids:
-                        cross_here += 1
-                        if idx < len(sim_durations):
-                            # the cross-shard simulation waits one batched
-                            # remote-read round
-                            sim_durations[idx] += remote_round_us
-                post_commit = execution.post_commit_serial_us
-                if cross_here:
-                    # the vote exchange separates prepare from commit; in
-                    # the lane model the serial tail position is equivalent
-                    # (commit_finish shifts by the same amount either way)
-                    post_commit += self._vote_exchange_us(cross_here)
-                shard_timings[shard].append(
-                    BlockTiming(
-                        arrival_us=i * interval,
-                        sim_durations=sim_durations,
-                        commit_durations=execution.commit_durations_us,
-                        serial_commit=execution.serial_commit,
-                        pre_exec_serial_us=execution.pre_exec_serial_us,
-                        post_commit_serial_us=post_commit,
-                    )
-                )
+        stats = BlockStats(block_id=block.block_id)
+        for txn in merged_txns:
+            if txn.committed:
+                stats.committed += 1
+            elif txn.aborted:
+                stats.aborted += 1
+        if config.measure_false_aborts:
+            stats.false_aborts = SerializabilityOracle.count_false_aborts(
+                merged_txns
+            )
+        # validator events are per-shard observations (a cross-shard
+        # transaction is validated at every participant)
+        stats.dangerous_structure_hits = sum(
+            e.stats.dangerous_structure_hits for e in executions.values()
+        )
+        state.metrics.merge_block(stats)
+        state.per_block_committed.append(stats.committed)
 
-            if config.keep_history:
-                self.history.append(
-                    GlobalBlockRecord(
-                        block_id=block.block_id,
-                        merged_txns=merged_txns,
-                        executions=executions,
-                        participants=participants,
-                        certificate=certificate,
-                    )
+        for shard, execution in executions.items():
+            # serial front-end: each shard ingests only its sub-block
+            execution.pre_exec_serial_us += (
+                outcome.sub_blocks[shard].size * self.costs.ingest_us
+            )
+            sim_durations = list(execution.sim_durations_us)
+            cross_here = 0
+            for idx, txn in enumerate(execution.txns):
+                if txn.tid in cross_tids:
+                    cross_here += 1
+                    if idx < len(sim_durations):
+                        # the cross-shard simulation waits one batched
+                        # remote-read round
+                        sim_durations[idx] += state.remote_round_us
+            post_commit = execution.post_commit_serial_us
+            if cross_here:
+                # the vote exchange separates prepare from commit; in
+                # the lane model the serial tail position is equivalent
+                # (commit_finish shifts by the same amount either way)
+                post_commit += self._vote_exchange_us(cross_here)
+            state.shard_timings[shard].append(
+                BlockTiming(
+                    arrival_us=i * state.interval,
+                    sim_durations=sim_durations,
+                    commit_durations=execution.commit_durations_us,
+                    serial_commit=execution.serial_commit,
+                    pre_exec_serial_us=execution.pre_exec_serial_us,
+                    post_commit_serial_us=post_commit,
                 )
+            )
 
+        if config.keep_history:
+            self.history.append(
+                GlobalBlockRecord(
+                    block_id=block.block_id,
+                    merged_txns=merged_txns,
+                    executions=executions,
+                    participants=outcome.participants,
+                    certificate=outcome.certificate,
+                )
+            )
+        return merged_txns
+
+    def _finish_run(self, state) -> RunMetrics:
+        metrics = state.metrics
         # --- timing: one pipeline lane per shard, merged into one timeline.
         lag = self.config.harmony.snapshot_lag if self._inter_block_enabled() else 2
         results = [
@@ -494,7 +626,7 @@ class ShardedBlockchain:
                 inter_block=self._inter_block_enabled(),
                 snapshot_lag=lag,
             ).simulate(timings)
-            for timings in shard_timings
+            for timings in state.shard_timings
         ]
         merged_result = merge_shard_results(results)
 
@@ -503,10 +635,10 @@ class ShardedBlockchain:
         append_block_latencies(
             metrics,
             merged_result.commit_finish_us,
-            interval,
-            consensus_latency,
+            state.interval,
+            self._consensus_latency_us(),
             self.network.worst_one_way_us(self.config.num_replicas),
-            per_block_committed,
+            state.per_block_committed,
         )
 
         for node in self.group.nodes:
@@ -518,12 +650,15 @@ class ShardedBlockchain:
         metrics.extra["state_hash"] = self.group.combined_state_hash()
         metrics.extra["shard_state_hashes"] = self.group.state_hashes()
         metrics.extra["ledger_ok"] = self.group.ledgers_ok()
-        metrics.extra["decision_digest"] = decision_digest(merged_blocks)
+        metrics.extra["decision_digest"] = decision_digest(state.merged_blocks)
         metrics.extra["num_shards"] = self.config.num_shards
-        metrics.extra["cross_shard_txns"] = cross_txns_total
-        metrics.extra["cross_shard_aborted"] = cross_aborted_total
+        metrics.extra["cross_shard_txns"] = state.cross_txns_total
+        metrics.extra["cross_shard_aborted"] = state.cross_aborted_total
         metrics.extra["certificates_ok"] = self.cert_log.verify_chain()
         metrics.extra["cert_head"] = self.cert_log.head_hash
+        metrics.extra["backend"] = (
+            "process" if self._prepare_backend is not None else "serial"
+        )
         return metrics
 
     def _consensus_latency_us(self) -> float:

@@ -73,6 +73,29 @@ def decide(votes) -> frozenset:
     return frozenset(v.tid for v in votes if not v.commit)
 
 
+def derive_votes(prepared: dict, cross_tids) -> list[ShardVote]:
+    """Each shard's prepare outcomes, folded into cross-shard votes.
+
+    ``prepared`` maps shard id to its :class:`~repro.execution.PreparedBlock`;
+    a vote is cast per (cross-shard tid, participant). Shared by the
+    sequential decision layer and the pipelined/process-backend drivers so
+    the vote stream is one code path regardless of how prepares ran.
+    """
+    votes: list[ShardVote] = []
+    for shard, prep in prepared.items():
+        for txn in prep.txns:
+            if txn.tid in cross_tids:
+                votes.append(
+                    ShardVote(
+                        tid=txn.tid,
+                        shard_id=shard,
+                        commit=not txn.aborted,
+                        reason=txn.abort_reason.value if txn.aborted else None,
+                    )
+                )
+    return votes
+
+
 def reconcile_votes(
     votes: list[ShardVote], expected: dict[int, frozenset] | None = None
 ) -> list[ShardVote]:

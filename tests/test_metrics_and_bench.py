@@ -250,6 +250,70 @@ class TestCompareTooling:
         assert main(["--compare", str(path)]) == 1
         assert main(["--compare", str(tmp_path / "missing.json")]) == 2
 
+    def test_one_noisy_run_in_a_window_is_not_a_collapse(self):
+        """Wall-basis cases gate on trailing-window medians: one noisy
+        newest run on a shared machine must not flag a collapse, while a
+        regression that persists across the window still fails."""
+        from repro.bench.perf import compare_last_runs
+
+        steady = [("validation", {"n": 1}, 6.0, 0.010)]
+        noisy = [("validation", {"n": 1}, 3.0, 0.022)]  # one bad sample
+        history = [
+            self._run("full", f"t{i}", steady) for i in range(5)
+        ] + [self._run("full", "t5", noisy)]
+        _lines, regressions = compare_last_runs(history)
+        assert regressions == []  # median of the newest window is steady
+
+        persistent = history[:3] + [
+            self._run("full", f"t{i}", noisy) for i in range(3, 6)
+        ]
+        _lines, regressions = compare_last_runs(persistent)
+        assert len(regressions) == 1
+        assert "validation" in regressions[0]
+
+    def test_simulated_basis_stays_strict_single_run(self):
+        """A simulated-time case collapsing in just the newest run is a
+        real behavioural change — no median smoothing, no noise guard."""
+        from repro.bench.perf import compare_last_runs
+
+        def sim_case(speedup):
+            return {
+                "case": "shard_scaling",
+                "params": {"num_shards": 4},
+                "speedup": speedup,
+                "indexed_s": 0.01,
+                "basis": "simulated",
+                "checks": {},
+            }
+
+        history = [
+            {"bench": "perf", "mode": "full", "created_utc": f"t{i}",
+             "cases": [sim_case(7.5)]}
+            for i in range(4)
+        ] + [
+            {"bench": "perf", "mode": "full", "created_utc": "t4",
+             "cases": [sim_case(4.0)]}
+        ]
+        _lines, regressions = compare_last_runs(history)
+        assert len(regressions) == 1
+        assert "shard_scaling" in regressions[0]
+
+    def test_case_younger_than_the_window_is_new_not_collapsed(self):
+        from repro.bench.perf import compare_last_runs
+
+        old_runs = [
+            self._run("full", f"t{i}", [("validation", {"n": 1}, 6.0, 0.01)])
+            for i in range(4)
+        ]
+        young = [("validation", {"n": 1}, 6.0, 0.01),
+                 ("parallel_prepare", {"shards": 4}, 0.4, 0.9)]
+        history = old_runs + [
+            self._run("full", f"t{i}", young) for i in range(4, 6)
+        ]
+        lines, regressions = compare_last_runs(history)
+        assert regressions == []
+        assert any("NEW" in line and "parallel_prepare" in line for line in lines)
+
     def test_sub_millisecond_jitter_is_below_the_noise_floor(self):
         """A micro-case's indexed timing moving by tens of microseconds is
         scheduler jitter, not a regression — the absolute floor absorbs

@@ -3,12 +3,18 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test perf-smoke perf perf-parallel compare faults-smoke faults
+.PHONY: test conformance perf-smoke perf perf-parallel compare faults-smoke faults
 
-# tier-1 verify: the whole default suite (perf/faults markers excluded
-# by pytest.ini)
+# tier-1 verify: the whole default suite (perf/faults/tpcc markers
+# excluded by pytest.ini)
 test:
 	$(PY) -m pytest -x -q
+
+# full conformance sweep: every scheme x every registered workload,
+# unsharded + sharded, including the tpcc-marked extended matrix (the
+# explicit -m overrides pytest.ini's deselection)
+conformance:
+	$(PY) -m pytest tests/test_conformance.py -q -m "not perf and not faults"
 
 # perf harness smoke: runs in seconds, fails on any check or any
 # non-gated speedup < 1.0

@@ -20,10 +20,7 @@ from repro.consensus.network import NetworkModel, NetworkPreset
 from repro.core.harmony import HarmonyConfig
 from repro.sim.costs import CostModel, StorageProfile
 from repro.sim.metrics import RunMetrics
-from repro.workloads.hotspot import HotspotWorkload
-from repro.workloads.smallbank import SmallbankWorkload
-from repro.workloads.tpcc import TPCCWorkload
-from repro.workloads.ycsb import YCSBWorkload
+from repro.workloads import make_workload as _registry_make_workload
 
 OE_SYSTEMS = ("harmony", "aria", "rbc")
 SOV_SYSTEMS = ("fabric", "fastfabric")
@@ -47,15 +44,11 @@ HOTSPOT_PROBS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
 
 
 def make_workload(name: str, skew: float = 0.6, **kwargs):
-    if name == "ycsb":
-        return YCSBWorkload(theta=skew, **kwargs)
-    if name == "smallbank":
-        return SmallbankWorkload(theta=skew, **kwargs)
-    if name == "tpcc":
-        return TPCCWorkload(**kwargs)
-    if name == "ycsb-hotspot":
-        return HotspotWorkload(**kwargs)
-    raise ValueError(f"unknown workload {name!r}")
+    """Paper-scale workload off the shared registry; ``skew`` maps onto
+    Zipf theta for the workloads parameterized by it."""
+    if name in ("ycsb", "smallbank"):
+        kwargs.setdefault("theta", skew)
+    return _registry_make_workload(name, profile="default", **kwargs)
 
 
 def block_size_for(system: str, workload: str) -> int:

@@ -810,6 +810,167 @@ def bench_shard_scaling(smoke: bool, seed: int) -> list[dict]:
     return cases
 
 
+def bench_tpcc_sharded(smoke: bool, seed: int) -> list[dict]:
+    """TPC-C scale-out scenario: warehouse-aligned shards over the identical
+    multi-warehouse stream at tunable cross-shard ratios (remote-warehouse
+    payments and remote stock lines become genuine 2PC traffic).
+
+    Same accounting as ``shard_scaling`` (simulated basis,
+    ``speedup_kind="throughput"``): the 1-shard deployment must be
+    decision- and state-identical to the unsharded
+    :class:`~repro.chain.system.OEBlockchain` on the same stream, every
+    N-shard deployment must certify its ledgers and carry cross-shard
+    transactions, and the 4-shard low-cross case must beat the 1-shard
+    throughput by >= 1.5x.
+    """
+    from repro.chain.system import OEBlockchain, OEConfig
+    from repro.shard.system import ShardConfig, ShardedBlockchain
+    from repro.workloads import make_workload
+    from repro.workloads.base import ShardAffinity
+
+    num_blocks = 6 if smoke else 10
+    block_size = 24 if smoke else 40
+    run_seed = seed % 100_000
+
+    def workload(cross: float):
+        # warehouse layout fixed at 4 partitions so every deployment size
+        # replays the identical spec stream
+        return make_workload(
+            "tpcc", num_warehouses=8, affinity=ShardAffinity(4, cross)
+        )
+
+    def sharded(num_shards: int, cross: float):
+        config = ShardConfig(
+            system="harmony",
+            block_size=block_size,
+            num_blocks=num_blocks,
+            seed=run_seed,
+            num_shards=num_shards,
+        )
+        chain = ShardedBlockchain(config, workload(cross))
+        start = time.perf_counter()
+        metrics = chain.run()
+        return metrics, time.perf_counter() - start
+
+    oe_metrics = OEBlockchain(
+        OEConfig(
+            system="harmony",
+            block_size=block_size,
+            num_blocks=num_blocks,
+            seed=run_seed,
+        ),
+        workload(0.1),
+    ).run()
+
+    cases = []
+    for cross in (0.1,) if smoke else (0.1, 0.5):
+        base, base_wall = sharded(1, cross)
+        identity_checks = {}
+        if cross == 0.1:
+            identity_checks = {
+                "decisions_match_unsharded": base.extra["decision_digest"]
+                == oe_metrics.extra["decision_digest"],
+                "state_matches_unsharded": base.extra["state_hash"]
+                == oe_metrics.extra["state_hash"],
+            }
+        for num_shards in (2, 4):
+            metrics, wall = sharded(num_shards, cross)
+            ratio = metrics.throughput_tps / base.throughput_tps
+            checks = {
+                "ledgers_ok": metrics.extra["ledger_ok"],
+                "certificates_ok": metrics.extra["certificates_ok"],
+                "has_cross_shard_txns": metrics.extra["cross_shard_txns"] > 0,
+                "scales_past_baseline": ratio >= 1.0,
+                **(identity_checks if num_shards == 2 else {}),
+            }
+            if num_shards == 4 and cross == 0.1:
+                checks["throughput_1_5x"] = ratio >= 1.5
+            cases.append(
+                {
+                    "case": "tpcc_sharded",
+                    "params": {
+                        "shards": num_shards,
+                        "cross_ratio": cross,
+                        "warehouses": 8,
+                        "block_size": block_size,
+                        "num_blocks": num_blocks,
+                    },
+                    "basis": "simulated",
+                    "speedup_kind": "throughput",
+                    "naive_s": round(base.sim_time_us / 1e6, 6),
+                    "indexed_s": round(metrics.sim_time_us / 1e6, 6),
+                    "naive_wall_s": round(base_wall, 6),
+                    "indexed_wall_s": round(wall, 6),
+                    "speedup": round(ratio, 2),
+                    "committed": metrics.committed,
+                    "cross_shard_txns": metrics.extra["cross_shard_txns"],
+                    "checks": checks,
+                }
+            )
+    return cases
+
+
+def bench_adversarial_contention(block_size: int, repeats: int, seed: int) -> dict:
+    """Harmony validation differential on the adversarial hot-counter shape.
+
+    Unlike ``bench_validation``'s synthetic Zipf blocks, the read/write
+    sets here come from actually simulating :class:`ContentionWorkload`
+    transactions (fused adds + separated read-modify-writes piled on a
+    handful of counters) — the block shape the reordering and
+    dangerous-structure machinery sees at its worst. Naive and indexed
+    validators must agree on the abort set, and the contention must
+    actually bite (some transactions abort).
+    """
+    from repro.execution import simulate_transactions
+    from repro.sim.rng import SeededRng
+    from repro.workloads import make_workload
+
+    workload = make_workload(
+        "adv-counter", num_keys=512, hot_keys=6, hot_ratio=0.7, ops_per_txn=8
+    )
+    registry = workload.build_registry()
+    store = MVStore()
+    store.load(workload.initial_state())
+    rng = SeededRng(seed, "bench/adv-counter")
+
+    def build(first_tid: int, block_id: int) -> list[Txn]:
+        txns = [
+            Txn(tid=first_tid + i, block_id=block_id, spec=spec)
+            for i, spec in enumerate(workload.generate_block(block_size, rng))
+        ]
+        simulate_transactions(txns, store.latest_snapshot(), registry)
+        return txns
+
+    prev = build(0, 0)
+    HarmonyValidator().validate(prev)
+    records = HarmonyValidator.records_for(_commit_survivors(prev))
+    block = build(block_size, 1)
+
+    results = {}
+    for label, indexed in (("naive", False), ("indexed", True)):
+        validator = HarmonyValidator(inter_block=True, indexed=indexed)
+        clones = [clone_txns(block) for _ in range(repeats)]
+        it = iter(clones)
+        results[label] = (
+            _time(lambda: validator.validate(next(it), records), repeats),
+            validator.validate(clone_txns(block), records).aborted_tids,
+        )
+    (naive_s, naive_aborts), (indexed_s, indexed_aborts) = (
+        results["naive"],
+        results["indexed"],
+    )
+    return _case(
+        "adversarial_contention",
+        {"block_size": block_size, "num_keys": 512, "hot_keys": 6},
+        naive_s,
+        indexed_s,
+        checks={
+            "aborts_equal": naive_aborts == indexed_aborts,
+            "contention_bites": len(indexed_aborts) > 0,
+        },
+    )
+
+
 def bench_parallel_prepare(smoke: bool, seed: int) -> dict:
     """Wall-clock gate for the process-pool prepare backend (the tentpole).
 
@@ -1033,6 +1194,8 @@ def run_perf(smoke: bool = False, out_path: str | None = None) -> dict:
     cases.extend(bench_shard_scaling(smoke, seed))
     cases.append(bench_parallel_prepare(smoke, seed + 15))
     cases.append(bench_pipelined_replay(smoke, seed + 16))
+    cases.extend(bench_tpcc_sharded(smoke, seed + 17))
+    cases.append(bench_adversarial_contention(60 if smoke else 150, repeats, seed + 18))
 
     run = {
         "bench": "perf",

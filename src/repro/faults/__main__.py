@@ -22,6 +22,7 @@ import time
 from repro.faults.drill import (
     DRILL_SCHEMES,
     DRILL_SHARD_COUNTS,
+    DRILL_WORKLOADS,
     drill_matrix,
 )
 from repro.faults.plan import standard_plans
@@ -57,6 +58,15 @@ def main(argv: list[str]) -> int:
         help="comma-separated shard counts (default: 1,2,4)",
     )
     parser.add_argument(
+        "--workloads",
+        type=_csv,
+        default=None,
+        help=(
+            "comma-separated workloads (default: smoke=smallbank,tpcc; "
+            f"full={','.join(DRILL_WORKLOADS)})"
+        ),
+    )
+    parser.add_argument(
         "--list", action="store_true", help="print the plan roster and exit"
     )
     args = parser.parse_args(argv)
@@ -76,6 +86,7 @@ def main(argv: list[str]) -> int:
         shard_counts=args.shards,
         seed=args.seed,
         smoke=args.smoke,
+        workloads=args.workloads,
     ):
         ran += 1
         if result.ok:

@@ -31,11 +31,22 @@ from repro.faults.plan import FaultPlan, standard_plans
 from repro.faults.supervisor import RetryPolicy, SupervisedShardGroup
 from repro.shard.system import ShardConfig, ShardedBlockchain
 from repro.sim.rng import SeededRng
+from repro.workloads import make_workload
 from repro.workloads.base import ShardAffinity
-from repro.workloads.smallbank import SmallbankWorkload
 
 DRILL_SCHEMES = ("harmony", "aria", "rbc")
 DRILL_SHARD_COUNTS = (1, 2, 4)
+#: every drilled workload; smallbank carries the full plan roster, the
+#: rest run the smoke plans (one per fault family) to bound the matrix
+DRILL_WORKLOADS = (
+    "smallbank",
+    "tpcc",
+    "adv-counter",
+    "adv-scan",
+    "adv-skewshift",
+)
+#: the per-PR smoke gate always drills TPC-C next to smallbank
+SMOKE_WORKLOADS = ("smallbank", "tpcc")
 #: the fast gate: one representative per fault family
 SMOKE_PLAN_NAMES = frozenset(
     {
@@ -56,6 +67,7 @@ class DrillResult:
     plan: FaultPlan
     scheme: str
     num_shards: int
+    workload: str = "smallbank"
     ok: bool = True
     failures: list = field(default_factory=list)
     #: first block whose decisions diverged from the reference (None = none)
@@ -64,7 +76,10 @@ class DrillResult:
 
     @property
     def label(self) -> str:
-        return f"{self.plan.name} x {self.scheme} x {self.num_shards}shard"
+        return (
+            f"{self.plan.name} x {self.scheme} x {self.num_shards}shard"
+            f" x {self.workload}"
+        )
 
 
 def _applies_in_order(txns) -> list[KeyApply]:
@@ -82,10 +97,22 @@ def _applies_in_order(txns) -> list[KeyApply]:
 
 
 def _build_chain(
-    scheme: str, num_shards: int, plan: FaultPlan, block_size: int, backend: str
+    scheme: str,
+    num_shards: int,
+    plan: FaultPlan,
+    block_size: int,
+    backend: str,
+    workload_name: str = "smallbank",
 ):
     affinity = ShardAffinity(num_shards, 0.5) if num_shards > 1 else None
-    workload = SmallbankWorkload(num_accounts=90, theta=0.6, affinity=affinity)
+    if workload_name == "smallbank":
+        # the original drill workload, kept at its historical scale so
+        # every existing plan's streams stay reproducible
+        workload = make_workload(
+            "smallbank", num_accounts=90, theta=0.6, affinity=affinity
+        )
+    else:
+        workload = make_workload(workload_name, profile="gate", affinity=affinity)
     config = ShardConfig(
         system=scheme,
         num_shards=num_shards,
@@ -117,20 +144,28 @@ def run_drill(
     num_blocks: int = 8,
     block_size: int = 8,
     policy: RetryPolicy | None = None,
+    workload: str = "smallbank",
 ) -> DrillResult:
     """One drill: disturbed (supervised, plan armed) vs reference."""
-    result = DrillResult(plan=plan, scheme=scheme, num_shards=num_shards)
+    result = DrillResult(
+        plan=plan, scheme=scheme, num_shards=num_shards, workload=workload
+    )
     # the disturbed chain *asks* for the process backend: fault hooks armed
     # by the supervisor force the serial fallback, which is exactly the
     # auto-fallback contract under drill — injected faults keep firing
     # in-process, and the run stays bit-comparable to the serial reference.
-    disturbed = _build_chain(scheme, num_shards, plan, block_size, "process")
-    reference = _build_chain(scheme, num_shards, plan, block_size, "serial")
+    disturbed = _build_chain(scheme, num_shards, plan, block_size, "process", workload)
+    reference = _build_chain(scheme, num_shards, plan, block_size, "serial", workload)
     supervisor = SupervisedShardGroup(
         disturbed, FaultInjector(plan, num_shards), policy
     )
 
-    rng = SeededRng(plan.seed, f"faults/{plan.name}/{scheme}/{num_shards}")
+    stream = f"faults/{plan.name}/{scheme}/{num_shards}"
+    if workload != "smallbank":
+        # smallbank keeps its historical stream name; new workloads get
+        # their own so no two drills ever share a spec sequence
+        stream = f"{stream}/{workload}"
+    rng = SeededRng(plan.seed, stream)
     ref_records: list = []
     oracle = HistoryOracle(indexed=True)
     for _ in range(num_blocks):
@@ -224,21 +259,37 @@ def drill_matrix(
     block_size: int = 8,
     seed: int = 61,
     smoke: bool = False,
+    workloads=None,
 ):
-    """Enumerate plan x scheme x shard-count drills, yielding results.
+    """Enumerate plan x scheme x shard-count x workload drills.
 
     ``smoke=True`` gates the fast subset: one scheme, one shard count,
-    one plan per fault family — the per-PR robustness gate.
+    one plan per fault family, smallbank + TPC-C — the per-PR robustness
+    gate. The full matrix runs every plan on smallbank and the smoke
+    plans on every other registered drill workload.
     """
     if smoke:
         schemes = (schemes[0],)
         shard_counts = (min(2, max(shard_counts)),)
+        workloads = SMOKE_WORKLOADS if workloads is None else workloads
+    elif workloads is None:
+        workloads = DRILL_WORKLOADS
     for num_shards in shard_counts:
         plans = standard_plans(num_blocks, num_shards, seed)
         if smoke:
             plans = [p for p in plans if p.name in SMOKE_PLAN_NAMES]
         for scheme in schemes:
-            for plan in plans:
-                yield run_drill(
-                    scheme, num_shards, plan, num_blocks, block_size
-                )
+            for workload in workloads:
+                if workload == "smallbank":
+                    roster = plans
+                else:
+                    roster = [p for p in plans if p.name in SMOKE_PLAN_NAMES]
+                for plan in roster:
+                    yield run_drill(
+                        scheme,
+                        num_shards,
+                        plan,
+                        num_blocks,
+                        block_size,
+                        workload=workload,
+                    )

@@ -187,6 +187,10 @@ class _WorkerState:
     def advance(self, deltas: list) -> None:
         for block_id, per_shard in deltas:
             for shard, writes in enumerate(per_shard):
+                if writes is None:
+                    # recorded during a fault window for a shard that
+                    # never committed the block — its reset covers it
+                    continue
                 store = self.stores[shard]
                 if store.last_committed_block >= block_id:
                     continue  # a reset already covered this block
@@ -266,6 +270,13 @@ class ProcessPrepareBackend:
         self._pending_resets: list[list[ShardReset]] = [[] for _ in range(workers)]
         self._epochs = [0] * num_shards
         self._height = -1
+        #: shards whose recorded suspended-window deltas have holes
+        #: (``None`` writes or a skipped block) — they need a full reset
+        #: at the next rejoin, everyone else advances incrementally
+        self._gapped: set = set()
+        #: lifetime count of :class:`ShardReset` payloads shipped —
+        #: the incremental-rejoin differential tests assert on this
+        self.resets_shipped = 0
         self._closed = False
 
     # ---------------------------------------------------------------- submit
@@ -341,6 +352,28 @@ class ProcessPrepareBackend:
         self._delta_log.append((block_id, per_shard_writes))
         self._height = block_id
 
+    def advance_partial(self, block_id: int, per_shard_writes: list) -> None:
+        """Record a block committed while the backend was suspended.
+
+        ``per_shard_writes`` holds ``None`` for shards that never
+        committed the block (crash windows): those shards are marked
+        *gapped* and will be re-shipped wholesale at the next rejoin,
+        while every other shard's worker cache catches up from these
+        deltas alone — an incremental resync instead of a full one.
+        """
+        if block_id <= self._height:
+            return
+        if block_id != self._height + 1:
+            # a block was never recorded at all; incremental shipping is
+            # no longer sound for anyone — next rejoin does a full resync
+            self._gapped.update(range(self.num_shards))
+            return
+        self._delta_log.append((block_id, list(per_shard_writes)))
+        for shard, writes in enumerate(per_shard_writes):
+            if writes is None:
+                self._gapped.add(shard)
+        self._height = block_id
+
     # ---------------------------------------------------------- invalidation
     def invalidate(self, shard: int, store, lag: int = 2) -> None:
         """Invalidate every worker's cached store for ``shard``.
@@ -369,18 +402,39 @@ class ProcessPrepareBackend:
         )
         for slot in range(len(self._pools)):
             self._pending_resets[slot].append(reset)
+        self.resets_shipped += 1
 
     def resync(self, stores: list, lag: int = 2) -> None:
         """Full invalidation: re-seed every worker store from the main ones.
 
-        Used after a fault-induced serial fallback window — deltas were
-        not recorded while the backend was bypassed, so every shard's
-        cache is stale, not just the recovered one.
+        The sledgehammer — correct whether or not deltas were recorded
+        during the fallback window. :meth:`rejoin_resync` is the
+        incremental path when :meth:`advance_partial` kept the log whole.
         """
         for shard, store in enumerate(stores):
             self.invalidate(shard, store, lag=lag)
         self._delta_log.clear()
         self._cursor = [0] * len(self._pools)
+        self._gapped.clear()
+        self._height = stores[0].last_committed_block
+
+    def rejoin_resync(self, shard: int, stores: list, lag: int = 2) -> None:
+        """Incremental invalidation after a fault window.
+
+        Only shards whose suspended-window deltas have holes — plus the
+        recovered shard itself, whose store was rebuilt — get a
+        :class:`ShardReset`; every other worker cache advances by the
+        deltas :meth:`advance_partial` recorded while the backend was
+        bypassed. Falls back to :meth:`resync` when nothing would be
+        saved (every shard stale).
+        """
+        stale = self._gapped | {shard}
+        if len(stale) >= self.num_shards:
+            self.resync(stores, lag=lag)
+            return
+        for s in sorted(stale):
+            self.invalidate(s, stores[s], lag=lag)
+        self._gapped.clear()
         self._height = stores[0].last_committed_block
 
     def close(self) -> None:

@@ -340,14 +340,18 @@ class ShardedBlockchain:
             self._backend_suspended = True
 
     def _on_rejoin(self, shard: int, node: ReplicaNode) -> None:
-        """Rejoin listener: worker-side store caches for *every* shard are
-        stale (no deltas were recorded during the serial fallback window),
-        so re-seed them all from the main stores and lift the fallback."""
+        """Rejoin listener: the serial fallback window recorded every
+        committed block's per-shard deltas (:meth:`advance_partial`), so
+        only shards that missed commits — plus the recovered shard, whose
+        store was rebuilt — need their worker caches re-shipped; the rest
+        catch up incrementally from the delta log. Then lift the fallback."""
         backend = self._prepare_backend
         if backend is None:
             return
-        backend.resync(
-            [n.engine.store for n in self.group.nodes], lag=self._backend_lag()
+        backend.rejoin_resync(
+            shard,
+            [n.engine.store for n in self.group.nodes],
+            lag=self._backend_lag(),
         )
         if self.fault_hook is None and self.vote_channel is None:
             self._backend_suspended = False
@@ -463,6 +467,19 @@ class ShardedBlockchain:
             backend.advance(
                 block.block_id,
                 [node.engine.writes_of(block.block_id) for node in self.group.nodes],
+            )
+        elif self._prepare_backend is not None:
+            # suspended window: record what each shard actually committed
+            # (None for crashed shards) so the rejoin resync re-ships only
+            # the stale stores instead of every worker cache
+            self._prepare_backend.advance_partial(
+                block.block_id,
+                [
+                    node.engine.writes_of(block.block_id)
+                    if node.engine.store.last_committed_block >= block.block_id
+                    else None
+                    for node in self.group.nodes
+                ],
             )
         return GlobalBlockOutcome(
             block=block,

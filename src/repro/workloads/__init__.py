@@ -1,4 +1,4 @@
-"""Benchmark workloads (Section 5).
+"""Benchmark workloads (Section 5) and the shared workload registry.
 
 - :mod:`repro.workloads.ycsb` — YCSB: 10K keys, 10 operations per
   transaction, each equally likely a SELECT or an UPDATE, Zipfian skew.
@@ -8,21 +8,137 @@
   the standard mix, scaled for simulation (see module docs).
 - :mod:`repro.workloads.hotspot` — the Section 5.3 YCSB variant: 1% of
   records are hotspots, SELECT+UPDATE pairs fused into single UPDATEs.
+- :mod:`repro.workloads.adversarial` — the adversarial family: hot
+  counters, range scans with writer bursts, migrating Zipf hotspot.
 - :mod:`repro.workloads.zipf` — the Zipfian generator all of them share.
+
+Every verification surface (conformance sweeps, fault drills, bench
+experiments, parallel/recovery gates) builds its workloads through
+:data:`REGISTRY` / :func:`make_workload`, so adding a workload is one
+registration here and the matrices pick it up together.
 """
 
-from repro.workloads.base import Workload
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.adversarial import (
+    AdversarialWorkload,
+    ContentionWorkload,
+    RangeScanWorkload,
+    SkewShiftWorkload,
+)
+from repro.workloads.base import ShardAffinity, Workload
 from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.smallbank import SmallbankWorkload
 from repro.workloads.tpcc import TPCCWorkload
 from repro.workloads.ycsb import YCSBWorkload
 from repro.workloads.zipf import ZipfGenerator
 
+
+@dataclass(frozen=True)
+class WorkloadEntry:
+    """One registered workload plus its per-surface scale profiles.
+
+    ``default`` is the paper-scale configuration (bench experiments),
+    ``conformance`` the small-and-extremely-contended scale the unsharded
+    conformance sweep certifies, and ``gate`` the moderated scale shared
+    by the sharded sweeps, fault drills, and parallel/recovery gates
+    (sized so every partition is non-empty at 4 shards).
+    """
+
+    factory: type
+    default: dict = field(default_factory=dict)
+    conformance: dict = field(default_factory=dict)
+    gate: dict = field(default_factory=dict)
+
+
+#: name -> entry; keys are the workloads' ``name`` attributes.
+REGISTRY: dict[str, WorkloadEntry] = {
+    "ycsb": WorkloadEntry(
+        YCSBWorkload,
+        conformance={"num_keys": 150, "theta": 0.9},
+        gate={"num_keys": 300, "theta": 0.7},
+    ),
+    "smallbank": WorkloadEntry(
+        SmallbankWorkload,
+        conformance={"num_accounts": 60, "theta": 0.9},
+        gate={"num_accounts": 120, "theta": 0.7},
+    ),
+    "ycsb-hotspot": WorkloadEntry(
+        HotspotWorkload,
+        conformance={"num_keys": 200, "hotspot_probability": 0.7},
+        gate={"num_keys": 300, "hotspot_probability": 0.5},
+    ),
+    "tpcc": WorkloadEntry(
+        TPCCWorkload,
+        conformance={"num_warehouses": 2},
+        gate={"num_warehouses": 8},
+    ),
+    "adv-counter": WorkloadEntry(
+        ContentionWorkload,
+        conformance={"num_keys": 64, "hot_keys": 3},
+        gate={
+            "num_keys": 160,
+            "hot_keys": 8,
+            "hot_ratio": 0.5,
+            "ops_per_txn": 4,
+        },
+    ),
+    "adv-scan": WorkloadEntry(
+        RangeScanWorkload,
+        conformance={"num_keys": 200},
+        gate={"num_keys": 240},
+    ),
+    "adv-skewshift": WorkloadEntry(
+        SkewShiftWorkload,
+        conformance={"num_keys": 150, "theta": 0.9},
+        gate={"num_keys": 240, "theta": 0.7},
+    ),
+}
+
+
+def workload_names() -> tuple[str, ...]:
+    return tuple(sorted(REGISTRY))
+
+
+def make_workload(
+    name: str,
+    profile: str = "default",
+    affinity: ShardAffinity | None = None,
+    **overrides,
+):
+    """Build a registered workload at one of its scale profiles.
+
+    ``overrides`` are constructor kwargs layered over the profile;
+    ``affinity`` is passed through when given (every registered workload
+    accepts it).
+    """
+    try:
+        entry = REGISTRY[name]
+    except KeyError:
+        raise ValueError(f"unknown workload {name!r}") from None
+    kwargs = dict(getattr(entry, profile))
+    kwargs.update(overrides)
+    if affinity is not None:
+        kwargs["affinity"] = affinity
+    return entry.factory(**kwargs)
+
+
 __all__ = [
+    "AdversarialWorkload",
+    "ContentionWorkload",
     "HotspotWorkload",
+    "RangeScanWorkload",
+    "REGISTRY",
+    "ShardAffinity",
+    "SkewShiftWorkload",
     "SmallbankWorkload",
     "TPCCWorkload",
     "Workload",
+    "WorkloadEntry",
     "YCSBWorkload",
     "ZipfGenerator",
+    "make_workload",
+    "workload_names",
 ]

@@ -29,7 +29,7 @@ from __future__ import annotations
 from repro.sim.rng import SeededRng
 from repro.txn.procedures import ProcedureRegistry
 from repro.txn.transaction import TxnSpec
-from repro.workloads.base import Workload, params
+from repro.workloads.base import ShardAffinity, Workload, params
 
 DISTRICTS_PER_WAREHOUSE = 10
 CUSTOMERS_PER_DISTRICT = 60
@@ -45,6 +45,18 @@ MIX = (
     ("tpcc_delivery", 4),
     ("tpcc_stock_level", 4),
 )
+
+
+def _line_source(w: int, line: tuple) -> tuple[int, int]:
+    """(supply_warehouse, item_id) of a NewOrder line.
+
+    Lines come in two shapes: the original ``(i_id, qty)`` (home-warehouse
+    supply) and the cross-shard ``(supply_w, i_id, qty)`` emitted when a
+    :class:`~repro.workloads.base.ShardAffinity` marks the order remote.
+    """
+    if len(line) == 3:
+        return line[0], line[1]
+    return w, line[0]
 
 
 def warehouse(w: int) -> tuple:
@@ -79,13 +91,76 @@ def new_order_key(w: int, d: int, o: int) -> tuple:
     return ("new_order", w, d, o)
 
 
+#: tables whose second key component is the owning warehouse — the natural
+#: warehouse -> shard alignment. ``item`` is deliberately absent: item rows
+#: are immutable reference data, read cross-shard through the federated
+#: snapshot and never written, so they can stay out of participant sets
+#: without creating a conflict the router would miss.
+_WAREHOUSE_TABLES = frozenset(
+    {"warehouse", "district", "customer", "stock", "order", "order_line", "new_order"}
+)
+
+
 class TPCCWorkload(Workload):
     name = "tpcc"
 
-    def __init__(self, num_warehouses: int = 20) -> None:
+    def __init__(
+        self,
+        num_warehouses: int = 20,
+        affinity: ShardAffinity | None = None,
+    ) -> None:
         if num_warehouses < 1:
             raise ValueError("need at least one warehouse")
+        if affinity is not None and num_warehouses < affinity.num_shards:
+            raise ValueError(
+                f"affinity over {affinity.num_shards} shards needs at least "
+                f"{affinity.num_shards} warehouses, got {num_warehouses}"
+            )
         self.num_warehouses = num_warehouses
+        self.affinity = affinity
+
+    # ---------------------------------------------------------- shard hints
+    def shard_index(self, key: object) -> int | None:
+        if isinstance(key, tuple) and len(key) >= 2 and key[0] in _WAREHOUSE_TABLES:
+            return key[1]
+        return None
+
+    @property
+    def shard_space(self) -> int | None:
+        return self.num_warehouses
+
+    def spec_keys(self, spec: TxnSpec) -> list | None:
+        """Exact static key footprint — every access of every procedure is
+        confined to the warehouses named here (item reads excepted, see
+        :data:`_WAREHOUSE_TABLES`), so the router's participant sets are
+        exact and multi-warehouse Payments/NewOrders become genuine
+        cross-shard 2PC traffic."""
+        p = spec.param_dict
+        if spec.proc == "tpcc_new_order":
+            keys = [warehouse(p["w"]), district(p["w"], p["d"])]
+            for line in p["lines"]:
+                supply_w, i_id = _line_source(p["w"], line)
+                keys.append(stock(supply_w, i_id))
+            return keys
+        if spec.proc == "tpcc_payment":
+            c_w = p.get("c_w")
+            c_d = p.get("c_d")
+            return [
+                warehouse(p["w"]),
+                district(p["w"], p["d"]),
+                customer(
+                    p["w"] if c_w is None else c_w,
+                    p["d"] if c_d is None else c_d,
+                    p["c"],
+                ),
+            ]
+        if spec.proc == "tpcc_order_status":
+            return [district(p["w"], p["d"]), customer(p["w"], p["d"], p["c"])]
+        if spec.proc == "tpcc_delivery":
+            return [warehouse(p["w"])]
+        if spec.proc == "tpcc_stock_level":
+            return [district(p["w"], p["d"])]
+        return None
 
     # ----------------------------------------------------------------- state
     def initial_state(self) -> dict:
@@ -129,18 +204,22 @@ class TPCCWorkload(Workload):
             ctx.add_fields(district(w, d), next_o_id=1)
 
             total = 0.0
-            for n, (i_id, qty) in enumerate(lines):
+            for n, line in enumerate(lines):
+                supply_w, i_id = _line_source(w, line)
+                qty = line[-1]
                 it = ctx.read(item(i_id))
                 if it is None:
                     return "invalid-item"  # TPC-C: 1% rollback path
-                st = ctx.read(stock(w, i_id))
+                st = ctx.read(stock(supply_w, i_id))
                 if st is None:
                     continue
                 if st["quantity"] - qty >= 10:
-                    ctx.add_fields(stock(w, i_id), quantity=-qty, ytd=qty, order_cnt=1)
+                    ctx.add_fields(
+                        stock(supply_w, i_id), quantity=-qty, ytd=qty, order_cnt=1
+                    )
                 else:
                     ctx.add_fields(
-                        stock(w, i_id), quantity=91 - qty, ytd=qty, order_cnt=1
+                        stock(supply_w, i_id), quantity=91 - qty, ytd=qty, order_cnt=1
                     )
                 amount = qty * it["price"]
                 total += amount
@@ -156,12 +235,16 @@ class TPCCWorkload(Workload):
             return total * (1 + wh["tax"] + dist["tax"])
 
         @registry.register("tpcc_payment")
-        def tpcc_payment(ctx, w, d, c, amount):
-            # fused YTD updates: UPDATE ... SET ytd = ytd + ? (coalescible)
+        def tpcc_payment(ctx, w, d, c, amount, c_w=None, c_d=None):
+            # fused YTD updates: UPDATE ... SET ytd = ytd + ? (coalescible).
+            # The YTD rows always belong to the home warehouse; a remote
+            # customer (TPC-C's 15% "pay through another warehouse" path,
+            # here driven by the affinity's cross ratio) makes the
+            # transaction genuinely multi-warehouse.
             ctx.add_fields(warehouse(w), ytd=amount)
             ctx.add_fields(district(w, d), ytd=amount)
             ctx.add_fields(
-                customer(w, d, c),
+                customer(w if c_w is None else c_w, d if c_d is None else c_d, c),
                 balance=-amount,
                 ytd_payment=amount,
                 payment_cnt=1,
@@ -249,22 +332,63 @@ class TPCCWorkload(Workload):
         return MIX[-1][0]
 
     def generate_block(self, size: int, rng: SeededRng) -> list[TxnSpec]:
+        affinity = self.affinity
         specs = []
         for _ in range(size):
             proc = self._pick_proc(rng)
             w = rng.randint(0, self.num_warehouses - 1)
+            remote = None
+            if affinity is not None and affinity.num_shards > 1:
+                home = affinity.pick_home(rng)
+                w = affinity.map_index(w, home, self.num_warehouses)
+                if proc in ("tpcc_new_order", "tpcc_payment") and affinity.crosses(
+                    rng
+                ):
+                    remote = affinity.pick_other(rng, home)
             d = rng.randint(0, DISTRICTS_PER_WAREHOUSE - 1)
             c = rng.randint(0, CUSTOMERS_PER_DISTRICT - 1)
             if proc == "tpcc_new_order":
                 n_lines = rng.randint(5, 15)
-                lines = tuple(
-                    (rng.randint(0, NUM_ITEMS - 1), rng.randint(1, 10))
-                    for _ in range(n_lines)
-                )
+                if remote is None:
+                    lines = tuple(
+                        (rng.randint(0, NUM_ITEMS - 1), rng.randint(1, 10))
+                        for _ in range(n_lines)
+                    )
+                else:
+                    # the last line sources its stock from a remote
+                    # warehouse (TPC-C's remote order line); every other
+                    # line stays home-supplied
+                    remote_w = affinity.map_index(
+                        rng.randint(0, self.num_warehouses - 1),
+                        remote,
+                        self.num_warehouses,
+                    )
+                    lines = tuple(
+                        (
+                            remote_w if n == n_lines - 1 else w,
+                            rng.randint(0, NUM_ITEMS - 1),
+                            rng.randint(1, 10),
+                        )
+                        for n in range(n_lines)
+                    )
                 specs.append(TxnSpec(proc, params(w=w, d=d, c=c, lines=lines)))
             elif proc == "tpcc_payment":
                 amount = float(rng.randint(1, 5000)) / 100.0
-                specs.append(TxnSpec(proc, params(w=w, d=d, c=c, amount=amount)))
+                if remote is None:
+                    specs.append(TxnSpec(proc, params(w=w, d=d, c=c, amount=amount)))
+                else:
+                    c_w = affinity.map_index(
+                        rng.randint(0, self.num_warehouses - 1),
+                        remote,
+                        self.num_warehouses,
+                    )
+                    c_d = rng.randint(0, DISTRICTS_PER_WAREHOUSE - 1)
+                    specs.append(
+                        TxnSpec(
+                            proc,
+                            params(w=w, d=d, c=c, amount=amount, c_w=c_w, c_d=c_d),
+                        )
+                    )
             elif proc == "tpcc_order_status":
                 specs.append(TxnSpec(proc, params(w=w, d=d, c=c)))
             elif proc == "tpcc_delivery":

@@ -37,9 +37,7 @@ from repro.dcc.serial import SerialExecutor
 from repro.sim.rng import SeededRng
 from repro.storage.engine import StorageEngine
 from repro.txn.transaction import AbortReason, Txn
-from repro.workloads.hotspot import HotspotWorkload
-from repro.workloads.smallbank import SmallbankWorkload
-from repro.workloads.ycsb import YCSBWorkload
+from repro.workloads import REGISTRY, make_workload
 
 NUM_BLOCKS = 5
 BLOCK_SIZE = 10
@@ -63,10 +61,11 @@ ALLOWED_ABORTS = {
     },
 }
 
+#: every registered workload at its conformance scale — the sweep grows
+#: automatically with the shared registry
 WORKLOADS = {
-    "ycsb": lambda: YCSBWorkload(num_keys=150, theta=0.9),
-    "smallbank": lambda: SmallbankWorkload(num_accounts=60, theta=0.9),
-    "hotspot": lambda: HotspotWorkload(num_keys=200, hotspot_probability=0.7),
+    name: (lambda name=name: make_workload(name, profile="conformance"))
+    for name in sorted(REGISTRY)
 }
 
 
@@ -196,6 +195,8 @@ def run_scheme(scheme: str, workload_name: str):
     indexed, naive = oracles
     assert indexed.build_graph() == naive.build_graph()
     assert indexed.is_serializable() and naive.is_serializable()
+    outcomes["engine"] = engine
+    outcomes["workload"] = workload
     return outcomes
 
 
@@ -216,30 +217,26 @@ class TestCrossSchemeConformance:
     def test_contended_schemes_abort_where_serial_does_not(self):
         """Sanity that the sweep exercises real contention: at this skew the
         abort-prone value-based baselines do abort, serial never does."""
-        aria = run_scheme("aria", "hotspot")
-        serial = run_scheme("serial", "hotspot")
+        aria = run_scheme("aria", "ycsb-hotspot")
+        serial = run_scheme("serial", "ycsb-hotspot")
         assert serial["aborted"] == 0
         assert aria["aborted"] > 0
 
 
-def run_sharded_scheme(scheme: str, workload_name: str, num_shards: int = 2):
+def run_sharded_scheme(
+    scheme: str, workload_name: str, num_shards: int = 2, cross: float = 0.5
+):
     """A sharded run of ``scheme``; returns (chain, outcomes) with the
     committed history certified by both oracle paths."""
     from repro.shard.system import ShardConfig, ShardedBlockchain
     from repro.workloads.base import ShardAffinity
 
-    # moderately contended: the affinity fold concentrates each partition's
-    # traffic, so the unsharded sweep's extreme skew would starve the
-    # abort-happy baselines of any commit at all
-    affinity = ShardAffinity(num_shards, 0.5)
-    if workload_name == "ycsb":
-        workload = YCSBWorkload(num_keys=300, theta=0.7, affinity=affinity)
-    elif workload_name == "smallbank":
-        workload = SmallbankWorkload(num_accounts=120, theta=0.7, affinity=affinity)
-    else:
-        workload = HotspotWorkload(
-            num_keys=300, hotspot_probability=0.5, affinity=affinity
-        )
+    # the gate profile is moderately contended: the affinity fold
+    # concentrates each partition's traffic, so the unsharded sweep's
+    # extreme skew would starve the abort-happy baselines of any commit
+    workload = make_workload(
+        workload_name, profile="gate", affinity=ShardAffinity(num_shards, cross)
+    )
     config = ShardConfig(
         system=scheme,
         block_size=BLOCK_SIZE,
@@ -287,10 +284,15 @@ def run_sharded_scheme(scheme: str, workload_name: str, num_shards: int = 2):
 class TestShardedConformance:
     """The sharded pipeline upholds every scheme's conformance claims."""
 
+    @pytest.mark.parametrize(
+        "num_shards", (2, pytest.param(4, marks=pytest.mark.tpcc))
+    )
     @pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
     @pytest.mark.parametrize("scheme", ("harmony", "aria", "rbc"))
-    def test_sharded_history_serializable(self, scheme, workload_name):
-        chain, metrics, reasons = run_sharded_scheme(scheme, workload_name)
+    def test_sharded_history_serializable(self, scheme, workload_name, num_shards):
+        chain, metrics, reasons = run_sharded_scheme(
+            scheme, workload_name, num_shards=num_shards
+        )
         assert metrics.committed > 0
         # a shard's veto surfaces as CROSS_SHARD_ABORT on the other
         # participants; every other reason must be one the scheme claims
@@ -303,3 +305,29 @@ class TestShardedConformance:
     def test_sharded_false_abort_accounting_sane(self):
         _chain, metrics, _reasons = run_sharded_scheme("harmony", "ycsb")
         assert 0 <= metrics.false_aborts <= metrics.aborted
+
+
+@pytest.mark.tpcc
+class TestTPCCExtendedMatrix:
+    """The heavier TPC-C sweep: the cross-shard knob end to end.
+
+    Deselected by default (like ``perf``/``faults``); ``make conformance``
+    or ``pytest -m tpcc`` runs it.
+    """
+
+    @pytest.mark.parametrize("cross", (0.0, 0.5, 0.9))
+    @pytest.mark.parametrize("num_shards", (2, 4))
+    @pytest.mark.parametrize("scheme", ("harmony", "aria", "rbc"))
+    def test_cross_ratio_sweep_serializable(self, scheme, num_shards, cross):
+        chain, metrics, reasons = run_sharded_scheme(
+            scheme, "tpcc", num_shards=num_shards, cross=cross
+        )
+        assert metrics.committed > 0
+        assert reasons <= ALLOWED_ABORTS[scheme] | {AbortReason.CROSS_SHARD_ABORT}
+        assert metrics.extra["ledger_ok"]
+        assert metrics.extra["certificates_ok"]
+        if cross > 0.0:
+            # remote Payments/NewOrders really leave their home shard
+            assert metrics.extra["cross_shard_txns"] > 0
+        else:
+            assert metrics.extra["cross_shard_txns"] == 0

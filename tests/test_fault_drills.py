@@ -16,6 +16,10 @@ import pytest
 from repro.faults.drill import (
     DRILL_SCHEMES,
     DRILL_SHARD_COUNTS,
+    DRILL_WORKLOADS,
+    SMOKE_PLAN_NAMES,
+    SMOKE_WORKLOADS,
+    drill_matrix,
     run_drill,
 )
 from repro.faults.plan import standard_plans
@@ -53,3 +57,38 @@ class TestDrillMatrix:
         b = run_drill("harmony", 2, plan)
         assert a.ok and b.ok
         assert a.stats == b.stats
+
+
+class TestWorkloadBreadth:
+    """TPC-C and the adversarial family ride the same drill matrix."""
+
+    @pytest.mark.parametrize("num_shards", DRILL_SHARD_COUNTS)
+    @pytest.mark.parametrize("scheme", DRILL_SCHEMES)
+    @pytest.mark.parametrize(
+        "workload", [w for w in DRILL_WORKLOADS if w != "smallbank"]
+    )
+    def test_new_workload_drills_bit_identical(self, workload, scheme, num_shards):
+        plans = {
+            p.name: p for p in standard_plans(num_blocks=8, num_shards=num_shards)
+        }
+        for name in sorted(SMOKE_PLAN_NAMES):
+            result = run_drill(scheme, num_shards, plans[name], workload=workload)
+            assert result.ok, (
+                f"{result.label}: first divergent block "
+                f"{result.first_divergent_block}; {result.failures}"
+            )
+
+    def test_smoke_matrix_includes_a_tpcc_drill(self):
+        """The per-PR smoke gate drills TPC-C, not just smallbank."""
+        assert "tpcc" in SMOKE_WORKLOADS
+        labels = [r.label for r in drill_matrix(smoke=True)]
+        assert any(" x tpcc" in label for label in labels)
+        assert all("FAIL" not in label for label in labels)
+
+    def test_full_matrix_covers_every_registered_drill_workload(self):
+        from repro.workloads import REGISTRY
+
+        assert set(DRILL_WORKLOADS) <= set(REGISTRY)
+        assert {"tpcc", "adv-counter", "adv-scan", "adv-skewshift"} <= set(
+            DRILL_WORKLOADS
+        )

@@ -22,6 +22,7 @@ from repro.parallel.replay import replay_group, replay_group_serial
 from repro.shard.recovery import recover_shard_node
 from repro.shard.system import ShardConfig, ShardedBlockchain
 from repro.sim.rng import SeededRng
+from repro.workloads import make_workload
 from repro.workloads.base import ShardAffinity
 from repro.workloads.smallbank import SmallbankWorkload
 
@@ -41,6 +42,7 @@ def _run_sharded(
     seed: int = 3,
     num_blocks: int = 5,
     block_size: int = 16,
+    workload_name: str | None = None,
 ):
     config = ShardConfig(
         system=system,
@@ -51,7 +53,12 @@ def _run_sharded(
         backend=backend,
         pipelined=pipelined,
     )
-    chain = ShardedBlockchain(config, _workload(num_shards))
+    if workload_name is None:
+        workload = _workload(num_shards)
+    else:
+        affinity = ShardAffinity(num_shards, 0.3) if num_shards > 1 else None
+        workload = make_workload(workload_name, profile="gate", affinity=affinity)
+    chain = ShardedBlockchain(config, workload)
     metrics = chain.run()
     chain.close_backend()
     return metrics, chain
@@ -69,6 +76,25 @@ def test_process_backend_bit_identical(system, num_shards):
     assert process.extra["certificates_ok"]
     # the whole certificate chain, not just the head
     assert [c.abort_tids for c in chain.cert_log.certificates()] is not None
+
+
+@pytest.mark.parametrize(
+    "workload_name", ["tpcc", "adv-counter", "adv-scan", "adv-skewshift"]
+)
+@pytest.mark.parametrize("num_shards", [2, 4])
+def test_process_backend_bit_identical_new_workloads(workload_name, num_shards):
+    """TPC-C and the adversarial family pickle into the worker pools and
+    stay bit-identical to the serial reference."""
+    serial, _ = _run_sharded(
+        "harmony", "serial", num_shards, workload_name=workload_name
+    )
+    process, _ = _run_sharded(
+        "harmony", "process", num_shards, workload_name=workload_name
+    )
+    for key in IDENTITY_KEYS:
+        assert serial.extra[key] == process.extra[key], key
+    assert serial.committed == process.committed
+    assert process.extra["certificates_ok"]
 
 
 def test_certificate_chains_identical_per_block():
@@ -181,6 +207,59 @@ def test_rejoin_invalidates_worker_caches():
     assert serial_chain.cert_log.head_hash == process_chain.cert_log.head_hash
     serial_chain.close_backend()
     process_chain.close_backend()
+
+
+def test_rejoin_resync_is_incremental():
+    """The suspended fault window records per-block deltas, so rejoin
+    re-ships only the crashed shard's store — one reset, not one per
+    worker cache."""
+    chain = _drive_with_crash("process")
+    backend = chain._prepare_backend
+    assert backend is not None
+    assert backend.resets_shipped == 1
+    assert not backend._gapped
+    assert not chain._backend_suspended
+    chain.close_backend()
+
+
+def test_incremental_rejoin_matches_full_resync(monkeypatch):
+    """Differential: the incremental rejoin path ends in the same state
+    and certificate stream as re-seeding every worker store wholesale."""
+    incremental = _drive_with_crash("process")
+
+    def full_resync_on_rejoin(self, shard, node):
+        backend = self._prepare_backend
+        if backend is None:
+            return
+        backend.resync(
+            [n.engine.store for n in self.group.nodes], lag=self._backend_lag()
+        )
+        if self.fault_hook is None and self.vote_channel is None:
+            self._backend_suspended = False
+
+    monkeypatch.setattr(ShardedBlockchain, "_on_rejoin", full_resync_on_rejoin)
+    full = _drive_with_crash("process")
+    # the sledgehammer reset every shard; incremental shipped just one
+    assert full._prepare_backend.resets_shipped == 2
+    assert incremental._prepare_backend.resets_shipped == 1
+    assert (
+        incremental.group.combined_state_hash()
+        == full.group.combined_state_hash()
+    )
+    assert incremental.cert_log.head_hash == full.cert_log.head_hash
+    incremental.close_backend()
+    full.close_backend()
+
+
+def test_advance_partial_gap_falls_back_to_full_resync():
+    """A hole in the suspended-window delta log poisons the incremental
+    path for every shard; rejoin then degrades to the full resync."""
+    config = ShardConfig(system="harmony", num_shards=2, backend="process")
+    backend = make_prepare_backend(config, _workload(2), 2)
+    backend.advance(0, [[], []])
+    backend.advance_partial(2, [[], []])  # block 1 never recorded
+    assert backend._gapped == {0, 1}
+    backend.close()
 
 
 def test_missed_invalidation_raises_stale_prepare():

@@ -18,6 +18,7 @@ from repro.chain.system import decision_digest
 from repro.shard.recovery import recover_shard_node
 from repro.shard.system import ShardConfig, ShardedBlockchain
 from repro.sim.rng import SeededRng
+from repro.workloads import make_workload
 from repro.workloads.base import ShardAffinity
 from repro.workloads.smallbank import SmallbankWorkload
 from repro.workloads.ycsb import YCSBWorkload
@@ -170,6 +171,72 @@ class TestCrossShardRecoveryDrill:
             recovery.node.state_hash()
             == reference.nodes[crash_shard].state_hash()
         )
+
+
+class TestNewWorkloadRecoveryDrill:
+    """ISSUE 8: the vote-then-crash drill and the checkpoint differential
+    hold on multi-warehouse TPC-C (cross-warehouse payments/new-orders
+    spanning shards) and the migrating-hotspot adversarial stream."""
+
+    @pytest.mark.parametrize("name", ["tpcc", "adv-skewshift"])
+    def test_crashed_shard_recovers_on_new_workloads(self, name):
+        chain = build_chain(
+            workload=make_workload(
+                name, profile="gate", affinity=ShardAffinity(NUM_SHARDS, 0.5)
+            )
+        )
+        outcomes = drive(chain, 6, crash_at=5, crash_shard=1)
+        # the drill must actually carry cross-shard transactions
+        assert any(
+            len(shards) > 1 for o in outcomes for shards in o.participants
+        )
+        recovery = recover_shard_node(
+            chain.group.nodes[1],
+            1,
+            [node.engine.store for node in chain.group.nodes],
+            chain.router,
+            chain.cert_log,
+        )
+        reference, reference_digest = replay_reference(
+            chain, 1, after=recovery.replay_from
+        )
+        assert recovery.decision_digest == reference_digest
+        assert recovery.node.state_hash() == reference.nodes[1].state_hash()
+        assert recovery.node.engine.store.last_committed_block == 5
+        assert recovery.node.ledger.verify_chain()
+        assert len(recovery.node.ledger) == len(reference.nodes[1].ledger)
+
+    @pytest.mark.parametrize("name", ["tpcc", "adv-skewshift"])
+    def test_delta_chain_recovery_matches_full_on_new_workloads(self, name):
+        recovered = {}
+        for incremental in (False, True):
+            chain = build_chain(
+                workload=make_workload(
+                    name, profile="gate", affinity=ShardAffinity(NUM_SHARDS, 0.5)
+                ),
+                incremental=incremental,
+            )
+            drive(chain, 6)
+            stores = [node.engine.store for node in chain.group.nodes]
+            for shard in range(NUM_SHARDS):
+                recovery = recover_shard_node(
+                    chain.group.nodes[shard],
+                    shard,
+                    stores,
+                    chain.router,
+                    chain.cert_log,
+                )
+                assert (
+                    recovery.node.state_hash()
+                    == chain.group.nodes[shard].state_hash()
+                )
+                recovered[(incremental, shard)] = recovery.node.engine.store
+        for shard in range(NUM_SHARDS):
+            full_store = recovered[(False, shard)]
+            delta_store = recovered[(True, shard)]
+            assert delta_store._versions == full_store._versions
+            assert delta_store._sorted_keys == full_store._sorted_keys
+            assert delta_store.state_hash() == full_store.state_hash()
 
 
 class TestShardedRecoveryDifferential:

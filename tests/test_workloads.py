@@ -9,11 +9,20 @@ from repro.core.harmony import HarmonyConfig, HarmonyExecutor
 from repro.sim.rng import SeededRng
 from repro.storage.engine import StorageEngine
 from repro.txn.transaction import Txn
+from repro.workloads.adversarial import (
+    ContentionWorkload,
+    RangeScanWorkload,
+    SkewShiftWorkload,
+)
+from repro.workloads.base import ShardAffinity
 from repro.workloads.hotspot import HotspotWorkload
 from repro.workloads.smallbank import SmallbankWorkload, checking, savings
 from repro.workloads.tpcc import (
+    CUSTOMERS_PER_DISTRICT,
     DISTRICTS_PER_WAREHOUSE,
+    INITIAL_NEXT_O_ID,
     TPCCWorkload,
+    customer,
     district,
     new_order_key,
     order_key,
@@ -78,7 +87,20 @@ class TestGeneratorDeterminism:
             lambda: YCSBWorkload(num_keys=100),
             lambda: SmallbankWorkload(num_accounts=100),
             lambda: TPCCWorkload(2),
+            lambda: TPCCWorkload(8, affinity=ShardAffinity(4, 0.5)),
             lambda: HotspotWorkload(num_keys=100),
+            lambda: ContentionWorkload(num_keys=100, hot_keys=4),
+            lambda: RangeScanWorkload(num_keys=120),
+            lambda: SkewShiftWorkload(num_keys=100),
+            lambda: ContentionWorkload(
+                num_keys=100, hot_keys=4, affinity=ShardAffinity(2, 0.5)
+            ),
+            lambda: RangeScanWorkload(
+                num_keys=120, affinity=ShardAffinity(4, 0.5)
+            ),
+            lambda: SkewShiftWorkload(
+                num_keys=100, affinity=ShardAffinity(2, 0.5)
+            ),
         ],
     )
     def test_same_seed_same_stream(self, workload_factory):
@@ -308,3 +330,122 @@ class TestHotspot:
         for spec in specs:
             for op in spec.param_dict["ops"]:
                 assert not wl.is_hot(op[1])
+
+
+class TestTPCCInvariants:
+    """TPC-C semantic invariants over the conformance sweep: whatever an
+    OE scheme aborted, its committed history must leave a state that
+    *some* serial TPC-C execution could have produced.
+
+    The SOV family (fabric / fastfabric) is exercised separately: its
+    endorsement step freezes fused ``ytd += x`` updates into stale value
+    writes with no registered read, so concurrent payments lose updates —
+    the Section 2.1.1 anomaly the OE pipeline exists to fix."""
+
+    @pytest.mark.parametrize("scheme", ("serial", "harmony", "aria", "rbc"))
+    def test_committed_state_satisfies_invariants(self, scheme):
+        from tests.test_conformance import run_scheme
+
+        outcomes = run_scheme(scheme, "tpcc")
+        store = outcomes["engine"].store
+        wl = outcomes["workload"]
+        for w in range(wl.num_warehouses):
+            # Payment adds the identical amount to the warehouse YTD and
+            # the paying district's YTD, atomically
+            wh_ytd = store.get_latest(warehouse(w))[0]["ytd"]
+            dist_ytd = sum(
+                store.get_latest(district(w, d))[0]["ytd"]
+                for d in range(DISTRICTS_PER_WAREHOUSE)
+            )
+            assert wh_ytd == pytest.approx(dist_ytd), (scheme, w)
+
+            delivered = 0
+            for d in range(DISTRICTS_PER_WAREHOUSE):
+                next_o = store.get_latest(district(w, d))[0]["next_o_id"]
+                # order ids are dense and monotone: committed NewOrders
+                # filled every id below the counter, none at or above it
+                assert store.get_latest(order_key(w, d, next_o))[0] is None
+                for o in range(INITIAL_NEXT_O_ID, next_o):
+                    order_row = store.get_latest(order_key(w, d, o))[0]
+                    assert order_row is not None, (scheme, w, d, o)
+                    pending = store.get_latest(new_order_key(w, d, o))[0]
+                    if order_row["carrier_id"] is None:
+                        assert pending is not None, (scheme, w, d, o)
+                    else:
+                        # delivered exactly once: the new_order row is gone
+                        assert pending is None, (scheme, w, d, o)
+                        delivered += 1
+            # every carrier assignment bumped exactly one customer's
+            # delivery_cnt — delivered orders are never re-delivered
+            delivery_cnts = sum(
+                store.get_latest(customer(w, d, c))[0]["delivery_cnt"]
+                for d in range(DISTRICTS_PER_WAREHOUSE)
+                for c in range(CUSTOMERS_PER_DISTRICT)
+            )
+            assert delivered == delivery_cnts, (scheme, w)
+
+    @pytest.mark.parametrize("scheme", ("fabric", "fastfabric"))
+    def test_sov_endorsement_loses_fused_ytd_updates(self, scheme):
+        """The documented SOV anomaly, pinned: endorsed value writes of
+        fused adds carry no read to version-check, so contended payments
+        silently overwrite each other and the warehouse YTD drifts from
+        the district sum. OE schemes (above) keep them equal."""
+        from tests.test_conformance import run_scheme
+
+        outcomes = run_scheme(scheme, "tpcc")
+        store = outcomes["engine"].store
+        wl = outcomes["workload"]
+        drifted = False
+        for w in range(wl.num_warehouses):
+            wh_ytd = store.get_latest(warehouse(w))[0]["ytd"]
+            dist_ytd = sum(
+                store.get_latest(district(w, d))[0]["ytd"]
+                for d in range(DISTRICTS_PER_WAREHOUSE)
+            )
+            drifted = drifted or abs(wh_ytd - dist_ytd) > 1e-6
+        assert drifted, f"{scheme}: expected lost fused updates on this stream"
+
+
+class TestWorkloadRegistry:
+    """The conformance sweep, fault drills and bench experiments must all
+    build their workloads from the one shared registry."""
+
+    def test_conformance_matrix_covers_the_registry(self):
+        from repro.workloads import REGISTRY
+        from tests.test_conformance import WORKLOADS
+
+        assert sorted(WORKLOADS) == sorted(REGISTRY)
+
+    def test_drill_workloads_are_registered(self):
+        from repro.faults.drill import DRILL_WORKLOADS, SMOKE_WORKLOADS
+        from repro.workloads import REGISTRY
+
+        assert set(DRILL_WORKLOADS) <= set(REGISTRY)
+        assert set(SMOKE_WORKLOADS) <= set(DRILL_WORKLOADS)
+
+    def test_bench_experiments_build_from_the_registry(self):
+        from repro.bench.experiments import make_workload as bench_make
+        from repro.workloads import REGISTRY
+
+        for name, entry in REGISTRY.items():
+            wl = bench_make(name)
+            assert isinstance(wl, entry.factory)
+            assert wl.name == name
+
+    def test_make_workload_layers_profiles_and_overrides(self):
+        from repro.workloads import REGISTRY, make_workload
+
+        gate = make_workload("adv-counter", profile="gate")
+        assert gate.num_keys == REGISTRY["adv-counter"].gate["num_keys"]
+        override = make_workload("adv-counter", profile="gate", num_keys=99)
+        assert override.num_keys == 99
+        sharded = make_workload(
+            "tpcc", profile="gate", affinity=ShardAffinity(2, 0.5)
+        )
+        assert sharded.affinity is not None
+
+    def test_make_workload_rejects_unknown_names(self):
+        from repro.workloads import make_workload
+
+        with pytest.raises(ValueError):
+            make_workload("no-such-workload")

@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test conformance perf-smoke perf perf-parallel compare faults-smoke faults
+.PHONY: test conformance perf-smoke perf perf-parallel compare faults-smoke faults obs-smoke
 
 # tier-1 verify: the whole default suite (perf/faults/tpcc markers
 # excluded by pytest.ini)
@@ -39,3 +39,8 @@ faults-smoke:
 
 faults:
 	$(PY) -m repro.faults
+
+# observability gate: traced run + export round-trip + digest
+# reproducibility + traced fault drill with annotated report
+obs-smoke:
+	$(PY) -m repro.obs smoke

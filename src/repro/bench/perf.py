@@ -1141,6 +1141,88 @@ def bench_pipelined_replay(smoke: bool, seed: int) -> dict:
     return case
 
 
+def bench_obs_overhead(smoke: bool, seed: int) -> dict:
+    """Overhead gate for the tracing/metrics subsystem.
+
+    The identical 2-shard Harmony YCSB stream runs untraced (the hooks at
+    their ``None`` defaults) and traced (:func:`repro.obs.trace.attach_tracer`
+    arms every emission site). Identity checks pin decisions, state and the
+    certificate head bit-equal — tracing observes, never perturbs — and the
+    wall gate requires the traced run to stay within 5% of the untraced one
+    (best-of-``repeats`` walls on both sides to damp scheduler noise).
+
+    ``speedup_kind="overhead"``: the reported "speedup" is the
+    traced/untraced wall ratio, expected ~1.0 — ``regressed_cases``'s
+    ``speedup < 1.0`` rule does not apply (a ratio under 1.0 just means the
+    traced run won the coin flip).
+    """
+    from repro.obs.trace import Tracer, attach_tracer
+    from repro.shard.system import ShardConfig, ShardedBlockchain
+    from repro.workloads.base import ShardAffinity
+    from repro.workloads.ycsb import YCSBWorkload
+
+    num_blocks = 6 if smoke else 10
+    block_size = 60 if smoke else 100
+    run_seed = seed % 100_000
+    repeats = 2 if smoke else 3
+
+    def run(traced: bool):
+        best_wall = None
+        metrics = tracer = None
+        for _ in range(repeats):
+            config = ShardConfig(
+                system="harmony",
+                block_size=block_size,
+                num_blocks=num_blocks,
+                seed=run_seed,
+                num_shards=2,
+            )
+            workload = YCSBWorkload(
+                num_keys=10_000, theta=0.1, affinity=ShardAffinity(2, 0.05)
+            )
+            chain = ShardedBlockchain(config, workload)
+            tracer = Tracer() if traced else None
+            if tracer is not None:
+                attach_tracer(chain, tracer)
+            start = time.perf_counter()
+            metrics = chain.run()
+            wall = time.perf_counter() - start
+            chain.close_backend()
+            best_wall = wall if best_wall is None else min(best_wall, wall)
+        return metrics, tracer, best_wall
+
+    run(False)  # discarded warmup: imports, allocator, branch caches
+    base_metrics, _, base_wall = run(False)
+    traced_metrics, tracer, traced_wall = run(True)
+
+    ratio = traced_wall / base_wall if base_wall > 0 else float("inf")
+    checks = {
+        "decisions_identical": base_metrics.extra["decision_digest"]
+        == traced_metrics.extra["decision_digest"],
+        "state_identical": base_metrics.extra["state_hash"]
+        == traced_metrics.extra["state_hash"],
+        "cert_head_identical": base_metrics.extra["cert_head"]
+        == traced_metrics.extra["cert_head"],
+        "spans_recorded": len(tracer.spans) > 0,
+        "overhead_under_5pct": ratio <= 1.05,
+    }
+    return {
+        "case": "obs_overhead",
+        "params": {
+            "shards": 2,
+            "block_size": block_size,
+            "num_blocks": num_blocks,
+        },
+        "basis": "wall",
+        "speedup_kind": "overhead",
+        "naive_s": round(traced_wall, 6),
+        "indexed_s": round(base_wall, 6),
+        "speedup": round(ratio, 2),
+        "spans": len(tracer.spans),
+        "checks": checks,
+    }
+
+
 def _case(name: str, params: dict, naive_s: float, indexed_s: float, checks: dict) -> dict:
     return {
         "case": name,
@@ -1196,6 +1278,7 @@ def run_perf(smoke: bool = False, out_path: str | None = None) -> dict:
     cases.append(bench_pipelined_replay(smoke, seed + 16))
     cases.extend(bench_tpcc_sharded(smoke, seed + 17))
     cases.append(bench_adversarial_contention(60 if smoke else 150, repeats, seed + 18))
+    cases.append(bench_obs_overhead(smoke, seed + 19))
 
     run = {
         "bench": "perf",
@@ -1222,6 +1305,9 @@ def regressed_cases(run: dict) -> list[str]:
       "speedup" is an N-shard throughput ratio, not a naive-vs-indexed
       differential; their gating lives in the ``scales_past_baseline`` /
       ``throughput_2x`` checks;
+    - ``speedup_kind="overhead"`` cases (``obs_overhead``) — their ratio is
+      expected ~1.0 and gated by ``overhead_under_5pct``, not by the
+      faster-than-naive rule;
     - cases whose wall gate is skipped (``gate_skipped`` set — e.g. the
       process-backend cases on a <4-core machine, where IPC overhead
       without parallelism is expected, not a regression). Their identity
@@ -1233,7 +1319,7 @@ def regressed_cases(run: dict) -> list[str]:
         for case in run["cases"]
         if case["speedup"] < 1.0
         and case["case"] != "shard_scaling"
-        and case.get("speedup_kind") != "throughput"
+        and case.get("speedup_kind") not in ("throughput", "overhead")
         and not case.get("gate_skipped")
     ]
 

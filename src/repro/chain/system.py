@@ -161,6 +161,9 @@ class OEBlockchain:
             )
         else:
             self.consensus = KafkaOrdering(self.network, self.costs)
+        #: span/metric sink (:class:`~repro.obs.trace.Tracer`); ``None``
+        #: (the default) costs one attribute check per emission site.
+        self.tracer = None
 
     def _build_node(self, name: str) -> ReplicaNode:
         engine = StorageEngine(
@@ -218,6 +221,12 @@ class OEBlockchain:
                 config.block_size - len(retries), rng
             )
             block = self.ordering.form_block(retries + fresh)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "enqueue",
+                    block=block.block_id,
+                    attrs={"retries": len(retries), "backlog": len(retry_queue)},
+                )
             execution = self.node.process_block(block)
             self._absorb_execution(metrics, timings, executions, i, interval, execution)
             if config.retry_aborted:
@@ -238,6 +247,21 @@ class OEBlockchain:
                 execution.txns
             )
         metrics.merge_block(execution.stats)
+        if self.tracer is not None:
+            self.tracer.stage(
+                "execute",
+                block=execution.block_id,
+                attrs={
+                    "committed": execution.stats.committed,
+                    "aborted": execution.stats.aborted,
+                    "false_aborts": execution.stats.false_aborts,
+                },
+                timing={
+                    "sim_us": sum(execution.sim_durations_us)
+                    + sum(execution.commit_durations_us)
+                    + execution.post_commit_serial_us
+                },
+            )
         executions.append(execution)
         timings.append(
             BlockTiming(
@@ -281,6 +305,26 @@ class OEBlockchain:
         metrics.extra["decision_digest"] = decision_digest(
             (e.block_id, e.txns) for e in executions
         )
+        if self.tracer is not None:
+            self.tracer.event(
+                "run_end",
+                attrs={
+                    "blocks": len(executions),
+                    "committed": metrics.committed,
+                    "aborted": metrics.aborted,
+                    "decision_digest": metrics.extra["decision_digest"][:16],
+                },
+            )
+            self.tracer.anno(
+                "run_summary",
+                timing={
+                    "makespan_us": result.makespan_us,
+                    "cpu_utilization": result.cpu_utilization,
+                },
+            )
+            latency_hist = self.tracer.metrics.histogram("block_latency_us")
+            for latency in metrics.latencies_us:
+                latency_hist.observe(latency)
         return metrics
 
     def _consensus_latency_us(self) -> float:

@@ -145,8 +145,14 @@ def run_drill(
     block_size: int = 8,
     policy: RetryPolicy | None = None,
     workload: str = "smallbank",
+    tracer=None,
 ) -> DrillResult:
-    """One drill: disturbed (supervised, plan armed) vs reference."""
+    """One drill: disturbed (supervised, plan armed) vs reference.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`) rides the *disturbed*
+    chain, so injected-fault and supervision events land in the span
+    stream; the reference chain stays untraced.
+    """
     result = DrillResult(
         plan=plan, scheme=scheme, num_shards=num_shards, workload=workload
     )
@@ -155,6 +161,10 @@ def run_drill(
     # auto-fallback contract under drill — injected faults keep firing
     # in-process, and the run stays bit-comparable to the serial reference.
     disturbed = _build_chain(scheme, num_shards, plan, block_size, "process", workload)
+    if tracer is not None:
+        from repro.obs.trace import attach_tracer
+
+        attach_tracer(disturbed, tracer)
     reference = _build_chain(scheme, num_shards, plan, block_size, "serial", workload)
     supervisor = SupervisedShardGroup(
         disturbed, FaultInjector(plan, num_shards), policy

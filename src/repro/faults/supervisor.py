@@ -138,17 +138,33 @@ class SupervisedShardGroup:
         sub_blocks = chain.sequencer.split(block, participants)
         self.sub_block_log.append(sub_blocks)
 
+        tracer = getattr(chain, "tracer", None)
         lagging = plan.lagging_shards(bid)
         dead_before = plan.crash_shards(bid, CRASH_BEFORE_PREPARE)
         self._crashed |= dead_before
+        if tracer is not None:
+            for shard in sorted(dead_before):
+                tracer.fault(
+                    "crash", block=bid, shard=shard,
+                    attrs={"window": "before-prepare"},
+                )
         prepared = chain.group.prepare(
             sub_blocks, skip=frozenset(self._crashed | lagging)
         )
+        if tracer is not None:
+            chain._trace_prepared(tracer, bid, prepared)
         cast = self._votes_from(prepared, cross_tids)
 
         # crash-after-prepare: the vote hit the wire, then the shard died
         # (with ``tear_log`` the log write behind the vote also tore).
-        self._crashed |= plan.crash_shards(bid, CRASH_AFTER_PREPARE)
+        dead_after_prepare = plan.crash_shards(bid, CRASH_AFTER_PREPARE)
+        self._crashed |= dead_after_prepare
+        if tracer is not None:
+            for shard in sorted(dead_after_prepare):
+                tracer.fault(
+                    "crash", block=bid, shard=shard,
+                    attrs={"window": "after-prepare"},
+                )
 
         # --- vote exchange under bounded deterministic retry ------------
         expected_pairs = {
@@ -166,12 +182,31 @@ class SupervisedShardGroup:
                 # timeout→abort degradation: the certificate will
                 # synthesize vetoes for every still-missing vote
                 self.degraded_blocks.append(bid)
+                if tracer is not None:
+                    tracer.fault(
+                        "degraded",
+                        block=bid,
+                        attempt=attempt,
+                        attrs={"missing": len(missing)},
+                    )
                 break
             self.retry_rounds += 1
-            self.injected_delay_us += self.policy.backoff_us(attempt - 1)
-            self.injected_delay_us += chain.network.rtt_us(
-                chain.config.num_shards
-            )
+            backoff_us = self.policy.backoff_us(attempt - 1)
+            round_rtt_us = chain.network.rtt_us(chain.config.num_shards)
+            self.injected_delay_us += backoff_us
+            self.injected_delay_us += round_rtt_us
+            if tracer is not None:
+                tracer.fault(
+                    "vote_retry",
+                    block=bid,
+                    attempt=attempt,
+                    sim_us=backoff_us + round_rtt_us,
+                    attrs={"missing": len(missing)},
+                )
+                tracer.metrics.counter("supervisor.retries").inc()
+                tracer.metrics.histogram("supervisor.backoff_us").observe(
+                    backoff_us
+                )
             # a shard that died before voting can be recovered mid-window:
             # its log holds only certified blocks, so replay is complete,
             # and re-delivering this sub-block buys the missing vote back
@@ -183,6 +218,15 @@ class SupervisedShardGroup:
                     continue  # crash-during-recovery: attempt consumed
                 prep = node.prepare_block(sub_blocks[shard])
                 prepared[shard] = prep
+                if tracer is not None:
+                    tracer.stage(
+                        "prepare",
+                        block=bid,
+                        shard=shard,
+                        attempt=attempt,
+                        attrs={"txns": len(prep.txns)},
+                        timing={"sim_us": sum(prep.sim_durations_us)},
+                    )
                 cast.extend(self._votes_from({shard: prep}, cross_tids))
 
         certificate = chain.cert_log.append(arrived, bid, expected=expected)
@@ -191,6 +235,8 @@ class SupervisedShardGroup:
         executions = chain.group.finish(
             prepared, certificate.abort_tids, skip=frozenset(self._crashed)
         )
+        if tracer is not None:
+            chain._trace_commits(tracer, bid, executions)
         for shard, execution in executions.items():
             self._shard_block_txns.setdefault(
                 (shard, bid), {t.tid: t for t in execution.txns}
@@ -198,7 +244,14 @@ class SupervisedShardGroup:
 
         # crash-after-commit: committed, then died before the checkpoint
         # write survived (the armed checkpoint hook already skipped/tore it)
-        self._crashed |= plan.crash_shards(bid, CRASH_AFTER_COMMIT)
+        dead_after_commit = plan.crash_shards(bid, CRASH_AFTER_COMMIT)
+        self._crashed |= dead_after_commit
+        if tracer is not None:
+            for shard in sorted(dead_after_commit):
+                tracer.fault(
+                    "crash", block=bid, shard=shard,
+                    attrs={"window": "after-commit"},
+                )
 
         # --- end-of-block supervision: every corpse recovers now that the
         # certificate landed, so replay covers this block too.
@@ -230,6 +283,18 @@ class SupervisedShardGroup:
         self._heal_lagging(None)
         if self._crashed:
             raise RuntimeError(f"unrecovered shards at finalize: {self._crashed}")
+        tracer = getattr(self.chain, "tracer", None)
+        if tracer is not None:
+            metrics = tracer.metrics
+            metrics.gauge("supervisor.injected_delay_us").set(
+                self.injected_delay_us
+            )
+            metrics.gauge("supervisor.degraded_blocks").set(
+                float(len(self.degraded_blocks))
+            )
+            metrics.gauge("supervisor.retry_rounds").set(
+                float(self.retry_rounds)
+            )
 
     # ------------------------------------------------------------ healing
     def _recover(self, shard: int, block_id: int):
@@ -237,6 +302,8 @@ class SupervisedShardGroup:
         itself crashed (double fault) and the durable artifacts are
         untouched, ready for the next attempt."""
         chain = self.chain
+        tracer = getattr(chain, "tracer", None)
+        rtt_us = chain.network.rtt_us(chain.config.num_shards)
         corpse = chain.group.nodes[shard]
         stores = chain.group._stores or [corpse.engine.store]
         if self.injector.recovery_fails(shard, block_id):
@@ -247,9 +314,13 @@ class SupervisedShardGroup:
                 corpse, shard, stores, chain.router, chain.cert_log
             )
             self.failed_recoveries += 1
-            self.injected_delay_us += chain.network.rtt_us(
-                chain.config.num_shards
-            )
+            self.injected_delay_us += rtt_us
+            if tracer is not None:
+                tracer.fault(
+                    "recovery_failed", block=block_id, shard=shard,
+                    sim_us=rtt_us,
+                )
+                tracer.metrics.counter("supervisor.failed_recoveries").inc()
             return None
         recovery = recover_shard_node(
             corpse, shard, stores, chain.router, chain.cert_log
@@ -258,7 +329,16 @@ class SupervisedShardGroup:
         self.injector.arm_node(shard, recovery.node)
         self._crashed.discard(shard)
         self.recoveries += 1
-        self.injected_delay_us += chain.network.rtt_us(chain.config.num_shards)
+        self.injected_delay_us += rtt_us
+        if tracer is not None:
+            tracer.fault(
+                "recovery",
+                block=block_id,
+                shard=shard,
+                sim_us=rtt_us,
+                attrs={"replayed": len(recovery.replayed_blocks)},
+            )
+            tracer.metrics.counter("supervisor.recoveries").inc()
         for replayed_bid, txns in recovery.replayed_blocks:
             self._shard_block_txns.setdefault(
                 (shard, replayed_bid), {t.tid: t for t in txns}
@@ -269,7 +349,9 @@ class SupervisedShardGroup:
         """Deliver every logged-and-certified sub-block the replica's
         ledger doesn't cover yet (torn log tails, missed windows)."""
         chain = self.chain
-        for b in range(len(node.ledger), len(self.sub_block_log)):
+        from_block = len(node.ledger)
+        caught_up = 0
+        for b in range(from_block, len(self.sub_block_log)):
             prep = node.prepare_block(self.sub_block_log[b][shard])
             execution = node.finish_block(prep, chain.cert_log[b].abort_tids)
             self._shard_block_txns.setdefault(
@@ -278,6 +360,17 @@ class SupervisedShardGroup:
             self.injected_delay_us += chain.network.rtt_us(
                 chain.config.num_shards
             )
+            caught_up += 1
+        if caught_up:
+            tracer = getattr(chain, "tracer", None)
+            if tracer is not None:
+                tracer.fault(
+                    "catch_up",
+                    shard=shard,
+                    sim_us=caught_up
+                    * chain.network.rtt_us(chain.config.num_shards),
+                    attrs={"from_block": from_block, "blocks": caught_up},
+                )
 
     def _heal_lagging(self, upto_block: int | None) -> None:
         """Catch up shards whose partition window closed before

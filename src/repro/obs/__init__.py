@@ -1,0 +1,57 @@
+"""Deterministic tracing + metrics for the OE pipelines (the observability
+layer).
+
+- :mod:`repro.obs.trace` — :class:`Tracer` / :class:`Span`, the dual-clock
+  span stream and its deterministic digest; :func:`attach_tracer` arms a
+  chain through the zero-cost ``None``-default hooks.
+- :mod:`repro.obs.metrics` — :class:`MetricsRegistry`: counters, gauges,
+  streaming log-bucketed histograms (p50/p99/p999).
+- :mod:`repro.obs.export` — JSONL round-trip (:func:`export_jsonl` /
+  :func:`load_trace`).
+- :mod:`repro.obs.analyze` — per-stage breakdowns, per-shard skew,
+  per-block critical paths, report rendering.
+- :mod:`repro.obs.capture` — seeded traced runs and traced fault drills.
+- ``python -m repro.obs`` — the trace / report / smoke CLI.
+"""
+
+from repro.obs.analyze import (
+    block_paths,
+    fault_events,
+    render_report,
+    shard_skew,
+    slowest_blocks,
+    stage_breakdown,
+)
+from repro.obs.capture import trace_drill, trace_run
+from repro.obs.export import TraceFile, export_jsonl, load_trace
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    attach_tracer,
+    det_digest,
+    det_events,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceFile",
+    "Tracer",
+    "attach_tracer",
+    "block_paths",
+    "det_digest",
+    "det_events",
+    "export_jsonl",
+    "fault_events",
+    "load_trace",
+    "render_report",
+    "shard_skew",
+    "slowest_blocks",
+    "stage_breakdown",
+    "trace_drill",
+    "trace_run",
+]

@@ -1,0 +1,87 @@
+"""JSONL trace files: one meta header, one line per span, one metrics
+tail. The format round-trips exactly (``export_jsonl`` then
+``load_trace`` reproduces the spans, the metrics registry, and the
+deterministic digest), so an exported trace is as strong a correctness
+artifact as the live tracer."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer, det_digest, det_events
+
+SCHEMA_VERSION = 1
+
+
+@dataclass
+class TraceFile:
+    """A loaded JSONL trace."""
+
+    meta: dict
+    schema: int
+    det_digest: str
+    spans: list[Span] = field(default_factory=list)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def det_events(self) -> list[dict]:
+        return det_events(self.spans)
+
+    def verify_digest(self) -> bool:
+        """Recompute the deterministic digest from the loaded spans."""
+        return det_digest(self.spans) == self.det_digest
+
+
+def export_jsonl(tracer: Tracer, path: str) -> None:
+    """Write the trace as JSONL: meta header, spans, metrics tail."""
+    with open(path, "w", encoding="utf-8") as fh:
+        header = {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "meta": tracer.meta,
+            "det_digest": tracer.det_digest(),
+            "spans": len(tracer.spans),
+        }
+        fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for span in tracer.spans:
+            fh.write(
+                json.dumps({"type": "span", **span.to_dict()}, sort_keys=True)
+                + "\n"
+            )
+        fh.write(
+            json.dumps(
+                {"type": "metrics", "metrics": tracer.metrics.to_dict()},
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
+
+def load_trace(path: str) -> TraceFile:
+    """Parse a JSONL trace back into spans + metrics."""
+    meta: dict = {}
+    schema = SCHEMA_VERSION
+    digest = ""
+    spans: list[Span] = []
+    metrics = MetricsRegistry()
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "meta":
+                meta = record.get("meta", {})
+                schema = record.get("schema", SCHEMA_VERSION)
+                digest = record.get("det_digest", "")
+            elif kind == "span":
+                spans.append(Span.from_dict(record))
+            elif kind == "metrics":
+                metrics = MetricsRegistry.from_dict(record.get("metrics", {}))
+            else:
+                raise ValueError(f"unknown trace record type {kind!r}")
+    return TraceFile(
+        meta=meta, schema=schema, det_digest=digest, spans=spans, metrics=metrics
+    )

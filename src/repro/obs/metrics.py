@@ -1,0 +1,167 @@
+"""Counters, gauges and streaming histograms for the run-level registry.
+
+The histogram is log-bucketed (HDR-style, ~10% relative error per
+bucket): constant memory per distinct magnitude, deterministic for a
+fixed input stream, and quantile reads (p50/p99/p999) by nearest-rank
+walk over the buckets. Exact ``count/total/min/max`` ride alongside, so
+means and extremes carry no bucketing error.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """A last-write-wins sample."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming log-bucketed histogram with nearest-rank quantiles."""
+
+    #: bucket growth factor: bucket ``i`` covers ``[G**i, G**(i+1))``
+    GROWTH = 1.1
+
+    __slots__ = ("count", "total", "min", "max", "zeros", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        #: observations <= 0 (their own bucket; log is undefined there)
+        self.zeros = 0
+        #: bucket index -> observation count
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = math.floor(math.log(value) / math.log(self.GROWTH))
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate (bucket upper edge, <= max)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"quantile q must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                return min(self.GROWTH ** (index + 1), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(99)
+
+    @property
+    def p999(self) -> float:
+        return self.quantile(99.9)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "zeros": self.zeros,
+            "buckets": {str(i): n for i, n in sorted(self.buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Histogram":
+        hist = cls()
+        hist.count = data["count"]
+        hist.total = data["total"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        hist.zeros = data["zeros"]
+        hist.buckets = {int(i): n for i, n in data["buckets"].items()}
+        return hist
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms, created on first touch."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter()
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge()
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        return hist
+
+    def to_dict(self) -> dict:
+        return {
+            "counters": {n: c.value for n, c in sorted(self.counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self.gauges.items())},
+            "histograms": {
+                n: h.to_dict() for n, h in sorted(self.histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        for name, value in data.get("counters", {}).items():
+            registry.counters[name] = Counter(value)
+        for name, value in data.get("gauges", {}).items():
+            registry.gauges[name] = Gauge(value)
+        for name, payload in data.get("histograms", {}).items():
+            registry.histograms[name] = Histogram.from_dict(payload)
+        return registry

@@ -277,6 +277,10 @@ class ProcessPrepareBackend:
         #: lifetime count of :class:`ShardReset` payloads shipped —
         #: the incremental-rejoin differential tests assert on this
         self.resets_shipped = 0
+        #: span/metric sink (:class:`repro.obs.trace.Tracer`); backend
+        #: events are ``anno`` spans — they have no serial counterpart, so
+        #: they stay out of the deterministic stream
+        self.tracer = None
         self._closed = False
 
     # ---------------------------------------------------------------- submit
@@ -289,6 +293,9 @@ class ProcessPrepareBackend:
         """
         block_id = next(iter(sub_blocks.values())).block_id
         futures = []
+        delta_count = 0
+        reset_count = 0
+        reset_slots = 0
         for slot, pool in enumerate(self._pools):
             deltas = self._delta_log[self._cursor[slot] :]
             self._cursor[slot] = len(self._delta_log)
@@ -302,8 +309,25 @@ class ProcessPrepareBackend:
                 expect_height=self._height,
                 expect_epochs=tuple(self._epochs),
             )
+            delta_count += len(deltas)
+            if self._pending_resets[slot]:
+                reset_count += len(self._pending_resets[slot])
+                reset_slots += 1
             self._pending_resets[slot] = []
             futures.append(pool.submit(_worker_run, task))
+        if self.tracer is not None:
+            metrics = self.tracer.metrics
+            metrics.counter("backend.delta_blocks_shipped").inc(delta_count)
+            metrics.counter("backend.resets_shipped").inc(reset_count)
+            metrics.counter("backend.cache_hits").inc(
+                len(self._pools) - reset_slots
+            )
+            metrics.counter("backend.cache_misses").inc(reset_slots)
+            self.tracer.anno(
+                "backend_submit",
+                block=block_id,
+                timing={"deltas": delta_count, "resets": reset_count},
+            )
         floor = min(self._cursor)
         if floor:  # every worker has the prefix — drop it
             del self._delta_log[:floor]
@@ -403,6 +427,13 @@ class ProcessPrepareBackend:
         for slot in range(len(self._pools)):
             self._pending_resets[slot].append(reset)
         self.resets_shipped += 1
+        if self.tracer is not None:
+            self.tracer.metrics.counter("backend.invalidations").inc()
+            self.tracer.anno(
+                "backend_invalidate",
+                shard=shard,
+                timing={"epoch": epoch, "blocks": len(reset.blocks)},
+            )
 
     def resync(self, stores: list, lag: int = 2) -> None:
         """Full invalidation: re-seed every worker store from the main ones.
@@ -417,6 +448,8 @@ class ProcessPrepareBackend:
         self._cursor = [0] * len(self._pools)
         self._gapped.clear()
         self._height = stores[0].last_committed_block
+        if self.tracer is not None:
+            self.tracer.metrics.counter("backend.resyncs").inc()
 
     def rejoin_resync(self, shard: int, stores: list, lag: int = 2) -> None:
         """Incremental invalidation after a fault window.
@@ -436,6 +469,8 @@ class ProcessPrepareBackend:
             self.invalidate(s, stores[s], lag=lag)
         self._gapped.clear()
         self._height = stores[0].last_committed_block
+        if self.tracer is not None:
+            self.tracer.metrics.counter("backend.resyncs").inc()
 
     def close(self) -> None:
         if self._closed:

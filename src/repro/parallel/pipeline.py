@@ -50,6 +50,8 @@ def _commit_pending(chain, backend, state, pending: _PendingBlock) -> None:
     from repro.shard.system import GlobalBlockOutcome
 
     executions = chain.group.finish(pending.prepared, pending.certificate.abort_tids)
+    if chain.tracer is not None:
+        chain._trace_commits(chain.tracer, pending.block.block_id, executions)
     backend.advance(
         pending.block.block_id,
         [
@@ -104,6 +106,26 @@ def run_sharded_pipelined(chain) -> RunMetrics:
             if len(shards) > 1
         }
         sub_blocks = chain.sequencer.split(block, participants)
+        tracer = chain.tracer
+        if tracer is not None:
+            tracer.event(
+                "enqueue",
+                block=block.block_id,
+                attrs={"retries": len(retries), "backlog": len(retry_queue)},
+            )
+            tracer.metrics.histogram("retry_queue_depth").observe(len(retry_queue))
+            chain._trace_order(
+                tracer, block, cross_tids, sub_blocks, frozenset(), frozenset()
+            )
+            # occupancy of the one-deep deferred-commit queue at dispatch
+            tracer.metrics.histogram("pipeline.queue_depth").observe(
+                1 if pending is not None else 0
+            )
+            tracer.anno(
+                "pipeline_dispatch",
+                block=block.block_id,
+                timing={"overlap": pending is not None},
+            )
 
         # dispatch block i's prepares, then use the wait to do main-side
         # work: ingest block i and commit block i-1.
@@ -118,6 +140,8 @@ def run_sharded_pipelined(chain) -> RunMetrics:
         prepared = backend.collect(futures, executors)
         for shard, prep in prepared.items():
             prep.extra_pre_exec_us += verify_costs[shard]
+        if tracer is not None:
+            chain._trace_prepared(tracer, block.block_id, prepared)
 
         votes = derive_votes(prepared, cross_tids)
         expected = {
@@ -168,6 +192,8 @@ def run_oe_pipelined(chain) -> RunMetrics:
     backend = make_prepare_backend(config, chain.workload, 1)
     if backend is None:
         raise RuntimeError(f"no process backend for system {config.system!r}")
+    if chain.tracer is not None:
+        backend.tracer = chain.tracer
     node = chain.node
     rng = SeededRng(config.seed, f"oe/{config.system}/{chain.workload.name}")
     metrics = RunMetrics(system=config.system, workload=chain.workload.name)
@@ -188,6 +214,12 @@ def run_oe_pipelined(chain) -> RunMetrics:
                 config.block_size - len(retries), rng
             )
             block = chain.ordering.form_block(retries + fresh)
+            if chain.tracer is not None:
+                chain.tracer.event(
+                    "enqueue",
+                    block=block.block_id,
+                    attrs={"retries": len(retries), "backlog": len(retry_queue)},
+                )
 
             futures = backend.submit({0: block}, {0: decided_state})
             _txns, verify_cost = node.ingest_block(block)

@@ -217,7 +217,7 @@ class ShardGroup:
         """
         return {
             shard: self.nodes[shard].finish_block(prepared[shard], abort_tids)
-            for shard in prepared
+            for shard in sorted(prepared)
             if shard not in skip
         }
 
@@ -295,6 +295,10 @@ class ShardedBlockchain:
         #: :class:`~repro.shard.twopc.VoteChannel` here lets fault plans
         #: drop/duplicate/delay votes on the wire.
         self.vote_channel = None
+        #: span/metric sink (:class:`~repro.obs.trace.Tracer`); ``None``
+        #: (the default) costs one attribute check per emission site.
+        #: Armed by :func:`repro.obs.trace.attach_tracer`.
+        self.tracer = None
         #: the process-pool prepare backend (``config.backend="process"``),
         #: built lazily on the first fault-free block; ``None`` = serial
         self._prepare_backend = None
@@ -332,6 +336,8 @@ class ShardedBlockchain:
             )
             if self._prepare_backend is None:
                 self._backend_suspended = True  # unsupported scheme: stay serial
+            elif self.tracer is not None:
+                self._prepare_backend.tracer = self.tracer
         return self._prepare_backend
 
     def _suspend_backend(self) -> None:
@@ -391,6 +397,68 @@ class ShardedBlockchain:
             self.config.vote_bytes * num_cross_local, self.config.num_shards - 1
         )
 
+    # -------------------------------------------------------------- tracing
+    # Span emission helpers, shared by the sequential driver, the pipelined
+    # driver and the fault supervisor (which runs prepare/commit itself).
+    # Deterministic fields only carry decision-layer quantities; engine sim
+    # durations (which legally differ across prepare backends) ride in the
+    # ``timing`` annotation dict. Every per-shard loop iterates sorted shard
+    # ids so the span order is independent of dict iteration order.
+    def _trace_order(
+        self, tracer, block, cross_tids, sub_blocks, skip_prepare, skip_commit
+    ) -> None:
+        tracer.event(
+            "order",
+            block=block.block_id,
+            attrs={
+                "size": block.size,
+                "cross": len(cross_tids),
+                "sub_sizes": [sub_blocks[s].size for s in sorted(sub_blocks)],
+            },
+        )
+        if skip_prepare or skip_commit:
+            tracer.fault(
+                "fault_directive",
+                block=block.block_id,
+                attrs={
+                    "skip_prepare": sorted(skip_prepare),
+                    "skip_commit": sorted(skip_commit),
+                },
+            )
+
+    def _trace_prepared(self, tracer, block_id: int, prepared: dict) -> None:
+        for shard in sorted(prepared):
+            prep = prepared[shard]
+            tracer.stage(
+                "prepare",
+                block=block_id,
+                shard=shard,
+                attrs={"txns": len(prep.txns)},
+                timing={"sim_us": sum(prep.sim_durations_us)},
+            )
+
+    def _trace_commits(self, tracer, block_id: int, executions: dict) -> None:
+        for shard in sorted(executions):
+            execution = executions[shard]
+            stats = execution.stats
+            tracer.stage(
+                "commit",
+                block=block_id,
+                shard=shard,
+                attrs={
+                    "committed": stats.committed
+                    if stats is not None
+                    else len(execution.committed_txns),
+                    "aborted": stats.aborted
+                    if stats is not None
+                    else len(execution.aborted_txns),
+                },
+                timing={
+                    "sim_us": sum(execution.commit_durations_us)
+                    + execution.post_commit_serial_us
+                },
+            )
+
     def process_global_block(
         self,
         block,
@@ -435,6 +503,11 @@ class ShardedBlockchain:
             if len(shards) > 1
         }
         sub_blocks = self.sequencer.split(block, participants)
+        tracer = self.tracer
+        if tracer is not None:
+            self._trace_order(
+                tracer, block, cross_tids, sub_blocks, skip_prepare, skip_commit
+            )
         faulted = bool(skip_prepare or skip_commit)
         if faulted:
             # injected faults must fire in-process; stay serial until a
@@ -445,6 +518,8 @@ class ShardedBlockchain:
             prepared = backend.prepare(sub_blocks, self.group.nodes)
         else:
             prepared = self.group.prepare(sub_blocks, skip=skip_prepare)
+        if tracer is not None:
+            self._trace_prepared(tracer, block.block_id, prepared)
 
         # --- ordered vote exchange: prepare outcomes become the block
         # stream's commit certificate (deterministic all-yes rule).
@@ -463,6 +538,8 @@ class ShardedBlockchain:
         executions = self.group.finish(
             prepared, certificate.abort_tids, skip=skip_commit
         )
+        if tracer is not None:
+            self._trace_commits(tracer, block.block_id, executions)
         if backend is not None:
             backend.advance(
                 block.block_id,
@@ -518,6 +595,15 @@ class ShardedBlockchain:
                 config.block_size - len(retries), rng
             )
             block = self.ordering.form_block(retries + fresh)
+            if self.tracer is not None:
+                self.tracer.event(
+                    "enqueue",
+                    block=block.block_id,
+                    attrs={"retries": len(retries), "backlog": len(retry_queue)},
+                )
+                self.tracer.metrics.histogram("retry_queue_depth").observe(
+                    len(retry_queue)
+                )
             outcome = self.process_global_block(block)
             merged_txns = self._absorb_block(state, i, outcome)
             if config.retry_aborted:
@@ -590,7 +676,24 @@ class ShardedBlockchain:
         state.metrics.merge_block(stats)
         state.per_block_committed.append(stats.committed)
 
-        for shard, execution in executions.items():
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(
+                "decide",
+                block=block.block_id,
+                attrs={
+                    "committed": stats.committed,
+                    "aborted": stats.aborted,
+                    "false_aborts": stats.false_aborts,
+                },
+            )
+            participant_hist = tracer.metrics.histogram("cross_participants")
+            for shards in outcome.participants:
+                if len(shards) > 1:
+                    participant_hist.observe(len(shards))
+
+        for shard in sorted(executions):
+            execution = executions[shard]
             # serial front-end: each shard ingests only its sub-block
             execution.pre_exec_serial_us += (
                 outcome.sub_blocks[shard].size * self.costs.ingest_us
@@ -609,7 +712,33 @@ class ShardedBlockchain:
                 # the vote exchange separates prepare from commit; in
                 # the lane model the serial tail position is equivalent
                 # (commit_finish shifts by the same amount either way)
-                post_commit += self._vote_exchange_us(cross_here)
+                vote_us = self._vote_exchange_us(cross_here)
+                post_commit += vote_us
+                if tracer is not None:
+                    tracer.stage(
+                        "vote_exchange",
+                        block=block.block_id,
+                        shard=shard,
+                        sim_us=vote_us,
+                        attrs={
+                            "cross": cross_here,
+                            "remote_read_us": cross_here * state.remote_round_us,
+                        },
+                    )
+            if tracer is not None:
+                shard_stats = execution.stats
+                tracer.metrics.counter(f"shard{shard}.committed").inc(
+                    shard_stats.committed if shard_stats is not None else 0
+                )
+                tracer.metrics.counter(f"shard{shard}.aborted").inc(
+                    shard_stats.aborted if shard_stats is not None else 0
+                )
+                tracer.metrics.histogram(f"shard{shard}.prepare_us").observe(
+                    sum(execution.sim_durations_us)
+                )
+                tracer.metrics.histogram(f"shard{shard}.commit_us").observe(
+                    sum(execution.commit_durations_us)
+                )
             state.shard_timings[shard].append(
                 BlockTiming(
                     arrival_us=i * state.interval,
@@ -676,6 +805,32 @@ class ShardedBlockchain:
         metrics.extra["backend"] = (
             "process" if self._prepare_backend is not None else "serial"
         )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(
+                "run_end",
+                attrs={
+                    "blocks": len(state.merged_blocks),
+                    "committed": metrics.committed,
+                    "aborted": metrics.aborted,
+                    "decision_digest": metrics.extra["decision_digest"][:16],
+                    "cert_head": self.cert_log.head_hash[:16],
+                },
+            )
+            tracer.anno(
+                "run_summary",
+                timing={
+                    "makespan_us": merged_result.makespan_us,
+                    "cpu_utilization": merged_result.cpu_utilization,
+                },
+            )
+            latency_hist = tracer.metrics.histogram("block_latency_us")
+            for latency in metrics.latencies_us:
+                latency_hist.observe(latency)
+            for shard, result in enumerate(results):
+                tracer.metrics.gauge(f"shard{shard}.busy_core_us").set(
+                    result.busy_core_us
+                )
         return metrics
 
     def _consensus_latency_us(self) -> float:

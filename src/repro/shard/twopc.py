@@ -159,6 +159,8 @@ class CertificateLog:
     """Append-only, hash-chained certificate stream (one per global block)."""
 
     _certs: list = field(default_factory=list)
+    #: span sink (:class:`repro.obs.trace.Tracer`); ``None`` = no tracing
+    tracer: object = None
 
     def __len__(self) -> int:
         return len(self._certs)
@@ -178,6 +180,19 @@ class CertificateLog:
     ) -> CommitCertificate:
         cert = make_certificate(block_id, votes, self.head_hash, expected)
         self._certs.append(cert)
+        if self.tracer is not None:
+            self.tracer.event(
+                "certify",
+                block=block_id,
+                attrs={
+                    "votes": len(cert.votes),
+                    "aborts": len(cert.abort_tids),
+                    "timeout_vetoes": sum(
+                        1 for v in cert.votes if v.reason == "vote-timeout"
+                    ),
+                    "head": cert.hash[:16],
+                },
+            )
         return cert
 
     def verify_chain(self) -> bool:

@@ -2,20 +2,24 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 
 def percentile(values: list[float], q: float) -> float:
-    """Nearest-rank percentile; 0 <= q <= 100."""
+    """Exact nearest-rank percentile: rank ``ceil(q/100 * N)``, 1-indexed.
+
+    ``q`` outside ``[0, 100]`` raises rather than silently clamping; q=0
+    is the minimum (the formula's rank-0 corner) and q=100 the maximum.
+    An empty sample returns 0.0.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
     if not values:
         return 0.0
     ordered = sorted(values)
-    if q <= 0:
-        return ordered[0]
-    if q >= 100:
-        return ordered[-1]
-    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
-    return ordered[rank]
+    rank = math.ceil(q / 100.0 * len(ordered))
+    return ordered[max(0, min(len(ordered), rank) - 1)]
 
 
 @dataclass
@@ -56,6 +60,8 @@ class RunMetrics:
     dangerous_structure_hits: int = 0
     blocks: int = 0
     extra: dict = field(default_factory=dict)
+    #: block ids already folded in — the double-merge guard
+    _seen_blocks: set = field(default_factory=set, repr=False, compare=False)
 
     @property
     def throughput_tps(self) -> float:
@@ -80,15 +86,40 @@ class RunMetrics:
         return sum(self.latencies_us) / len(self.latencies_us) / 1000.0
 
     @property
+    def p50_latency_ms(self) -> float:
+        return percentile(self.latencies_us, 50) / 1000.0
+
+    @property
     def p95_latency_ms(self) -> float:
         return percentile(self.latencies_us, 95) / 1000.0
+
+    @property
+    def p99_latency_ms(self) -> float:
+        return percentile(self.latencies_us, 99) / 1000.0
+
+    @property
+    def p999_latency_ms(self) -> float:
+        return percentile(self.latencies_us, 99.9) / 1000.0
 
     @property
     def dangerous_structure_rate(self) -> float:
         total = self.committed + self.aborted
         return self.dangerous_structure_hits / total if total else 0.0
 
-    def merge_block(self, stats: BlockStats) -> None:
+    def merge_block(self, stats: BlockStats, allow_remerge: bool = False) -> None:
+        """Fold one block's outcome into the run totals.
+
+        Every sharded merge path must fold each global block exactly once
+        (the merged coordinator view already aggregates the shards), so a
+        repeated ``block_id`` raises unless ``allow_remerge`` makes the
+        double-count explicit.
+        """
+        if stats.block_id in self._seen_blocks and not allow_remerge:
+            raise ValueError(
+                f"block {stats.block_id} already merged into this RunMetrics"
+                " (pass allow_remerge=True to double-count deliberately)"
+            )
+        self._seen_blocks.add(stats.block_id)
         self.committed += stats.committed
         self.aborted += stats.aborted
         self.false_aborts += stats.false_aborts

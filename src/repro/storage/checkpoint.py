@@ -174,6 +174,10 @@ class CheckpointManager:
         #: the write — for a base compaction, the tip is the fresh base).
         #: ``None`` default costs one attribute check per checkpoint.
         self.fault_hook = None
+        #: span/metric sink (:class:`repro.obs.trace.Tracer`); armed with
+        #: the owning shard id by :func:`repro.obs.trace.attach_tracer`.
+        self.tracer = None
+        self.trace_shard: int | None = None
 
     def maybe_checkpoint(
         self,
@@ -199,6 +203,13 @@ class CheckpointManager:
     ) -> None:
         """Append a full (base) checkpoint — the O(keyspace) deepcopy path."""
         fault = self.fault_hook(block_id) if self.fault_hook is not None else None
+        if fault is not None and self.tracer is not None:
+            self.tracer.fault(
+                "checkpoint_fault",
+                block=block_id,
+                shard=self.trace_shard,
+                attrs={"mode": "full", "directive": fault},
+            )
         if fault == "skip":
             return
         self._entries.append(
@@ -214,6 +225,14 @@ class CheckpointManager:
         self.last_checkpoint_block = block_id
         if fault == "tear":
             self.torn_latest = True
+        if self.tracer is not None:
+            self.tracer.event(
+                "checkpoint",
+                block=block_id,
+                shard=self.trace_shard,
+                attrs={"mode": "full", "keyspace": len(state)},
+            )
+            self.tracer.metrics.counter("checkpoint.full").inc()
         self._prune()
 
     def delta_checkpoint(
@@ -233,6 +252,13 @@ class CheckpointManager:
         copies, so compaction never touches the live store either.
         """
         fault = self.fault_hook(block_id) if self.fault_hook is not None else None
+        if fault is not None and self.tracer is not None:
+            self.tracer.fault(
+                "checkpoint_fault",
+                block=block_id,
+                shard=self.trace_shard,
+                attrs={"mode": "delta", "directive": fault},
+            )
         if fault == "skip":
             return
         self._entries.append(
@@ -243,13 +269,32 @@ class CheckpointManager:
             )
         )
         self._deltas_since_base += 1
-        if self._deltas_since_base >= self.base_interval:
+        compacted = self._deltas_since_base >= self.base_interval
+        if compacted:
             # Base compaction: fold the chain (not the store) into a full
             # checkpoint at the same block. The delta stays in the chain —
             # if the compaction itself tears, the prefix through the delta
             # recovers the identical state.
             self._entries.append(self._reconstruct(self._entries))
             self._deltas_since_base = 0
+        if self.tracer is not None:
+            delta_writes = sum(len(w) for _, w in interval_writes)
+            self.tracer.event(
+                "checkpoint",
+                block=block_id,
+                shard=self.trace_shard,
+                attrs={
+                    "mode": "delta",
+                    "blocks": len(interval_writes),
+                    "writes": delta_writes,
+                    "compacted": compacted,
+                },
+            )
+            self.tracer.metrics.histogram("checkpoint.delta_writes").observe(
+                delta_writes
+            )
+            if compacted:
+                self.tracer.metrics.counter("checkpoint.base_compactions").inc()
         self.last_checkpoint_block = block_id
         if fault == "tear":
             # crash mid-write: the chain tip (the fresh base when the

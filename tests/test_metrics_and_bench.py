@@ -22,6 +22,82 @@ class TestPercentile:
     def test_median(self):
         assert percentile([5.0, 1.0, 3.0], 50) == 3.0
 
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+    def test_nearest_rank_is_a_sample(self):
+        # p99 of 100 samples is the 99th order statistic, not an
+        # interpolated value that never occurred
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 99) == 99.0
+        assert percentile(values, 99.9) == 100.0
+        assert percentile(values, 50) == 50.0
+
+
+class TestPercentileDifferential:
+    """Property tests pinning the nearest-rank definition, differentially
+    against ``statistics.quantiles``."""
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        ),
+        q=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_membership_and_rank(self, values, q):
+        import math
+
+        result = percentile(values, q)
+        assert result in values
+        # rank-counting uniquely determines the rank-th order statistic
+        # without re-sorting: at least `rank` samples are <= result, and
+        # fewer than `rank` are strictly below it
+        rank = max(1, math.ceil(q / 100.0 * len(values)))
+        assert sum(1 for v in values if v <= result) >= rank
+        assert sum(1 for v in values if v < result) <= rank - 1
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=2,
+            max_size=60,
+        ),
+        q=st.integers(min_value=1, max_value=99),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_brackets_statistics_quantiles(self, values, q):
+        """The nearest-rank sample and the stdlib's inclusive-interpolation
+        cut point land in the same order-statistic bracket.
+
+        With ``h = 1 + (N-1)q/100`` (the interpolation position) and
+        ``r = ceil(Nq/100)`` (the nearest rank), ``|r - h| < 1`` for any
+        q in (0, 100), so both estimates lie within the order statistics
+        adjacent to ``h``.
+        """
+        import math
+        import statistics
+
+        result = percentile(values, q)
+        cut = statistics.quantiles(values, n=100, method="inclusive")[q - 1]
+        ordered = sorted(values)
+        h = 1 + (len(ordered) - 1) * q / 100.0
+        lo = ordered[max(0, math.floor(h) - 2)]
+        hi = ordered[min(len(ordered) - 1, math.ceil(h) - 1)]
+        assert lo <= result <= hi
+        # the stdlib cut point is interpolated floating-point arithmetic,
+        # so it can land an ulp outside the bracket when samples coincide
+        assert (
+            lo <= cut <= hi
+            or math.isclose(cut, lo, rel_tol=1e-9, abs_tol=1e-9)
+            or math.isclose(cut, hi, rel_tol=1e-9, abs_tol=1e-9)
+        )
+
 
 class TestRunMetrics:
     def test_rates(self):
@@ -46,6 +122,44 @@ class TestRunMetrics:
         metrics.merge_block(BlockStats(block_id=1, committed=2, aborted=2))
         assert metrics.committed == 5 and metrics.aborted == 3
         assert metrics.blocks == 2
+
+    def test_merge_block_rejects_double_merge(self):
+        metrics = RunMetrics(system="s", workload="w")
+        metrics.merge_block(BlockStats(block_id=0, committed=3))
+        with pytest.raises(ValueError, match="already merged"):
+            metrics.merge_block(BlockStats(block_id=0, committed=3))
+        assert metrics.committed == 3 and metrics.blocks == 1
+
+    def test_merge_block_allow_remerge_is_explicit(self):
+        metrics = RunMetrics(system="s", workload="w")
+        metrics.merge_block(BlockStats(block_id=0, committed=3))
+        metrics.merge_block(BlockStats(block_id=0, committed=3), allow_remerge=True)
+        assert metrics.committed == 6 and metrics.blocks == 2
+
+    def test_latency_percentile_properties(self):
+        metrics = RunMetrics(system="s", workload="w")
+        metrics.latencies_us = [float(v) * 1000.0 for v in range(1, 101)]
+        assert metrics.p50_latency_ms == pytest.approx(50.0)
+        assert metrics.p99_latency_ms == pytest.approx(99.0)
+        assert metrics.p999_latency_ms == pytest.approx(100.0)
+
+    def test_sharded_merge_path_counts_each_block_once(self):
+        """Regression around merge_shard_results: a sharded run must fold
+        each global block into RunMetrics exactly once — the seen-block
+        guard would raise on any double merge."""
+        from repro.shard.system import ShardConfig, ShardedBlockchain
+        from repro.workloads import make_workload
+        from repro.workloads.base import ShardAffinity
+
+        config = ShardConfig(
+            system="harmony", num_shards=2, block_size=8, num_blocks=5, seed=7
+        )
+        workload = make_workload(
+            "smallbank", profile="gate", affinity=ShardAffinity(2, 0.5)
+        )
+        metrics = ShardedBlockchain(config, workload).run()
+        assert metrics.blocks == config.num_blocks
+        assert metrics.committed + metrics.aborted > 0
 
 
 class TestReport:

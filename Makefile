@@ -3,7 +3,7 @@
 
 PY := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH)) python
 
-.PHONY: test conformance perf-smoke perf perf-parallel compare faults-smoke faults obs-smoke
+.PHONY: test conformance perf-smoke perf perf-parallel compare faults-smoke faults obs-smoke rebalance-smoke
 
 # tier-1 verify: the whole default suite (perf/faults/tpcc markers
 # excluded by pytest.ini)
@@ -44,3 +44,10 @@ faults:
 # reproducibility + traced fault drill with annotated report
 obs-smoke:
 	$(PY) -m repro.obs smoke
+
+# adaptive-sharding gate: the migration-fault drills (crash/torn delta
+# at the re-key boundary, bit-identical to reference) on the shifting
+# hotspot, plus the rebalance differential/replay/fence test file
+rebalance-smoke:
+	$(PY) -m repro.faults --smoke --workloads adv-skewshift
+	$(PY) -m pytest tests/test_rebalance.py -q

@@ -1223,6 +1223,210 @@ def bench_obs_overhead(smoke: bool, seed: int) -> dict:
     }
 
 
+def bench_adaptive_skew(smoke: bool, seed: int) -> dict:
+    """Adaptive-sharding scenario: deterministic live re-keying vs static
+    hash routing under the migrating-Zipf ``adv-skewshift`` stream.
+
+    At 4 shards with hash routing, a high-theta shifting hotspot scatters
+    every transaction's footprint across the fleet — nearly every
+    transaction pays 2PC and the hot shard's lane dominates the makespan
+    (the scaling collapse adaptive sharding exists to fix). The identical
+    stream then runs with ``rebalance="adaptive"``: the policy watches
+    the decision-layer telemetry, colocates the hot key set, and the
+    certified :class:`~repro.shard.rebalance.MigrationRecord` stream
+    re-keys ownership mid-run.
+
+    Same accounting as ``shard_scaling`` (simulated basis,
+    ``speedup_kind="throughput"``). The acceptance bar: the adaptive run
+    must hold at least 2x the static throughput, certify its ledgers and
+    chain, fire at least one migration, and a fresh replica replaying
+    (sub-blocks + certificates, migrations included) must reach the
+    identical combined state hash.
+    """
+    from repro.shard.system import ShardConfig, ShardedBlockchain
+    from repro.workloads import make_workload
+
+    # deliberately NOT scaled down in smoke mode: the gate needs enough
+    # blocks past warmup for the policy to track the hotspot (~0.5s total)
+    num_blocks, block_size = 12, 80
+    run_seed = seed % 100_000
+
+    def run(rebalance: str):
+        workload = make_workload(
+            "adv-skewshift",
+            num_keys=200,
+            theta=1.3,
+            shift_period=96,
+            ops_per_txn=4,
+            fused_ratio=0.9,
+        )
+        config = ShardConfig(
+            system="harmony",
+            block_size=block_size,
+            num_blocks=num_blocks,
+            seed=run_seed,
+            num_shards=4,
+            router_policy="hash",
+            rebalance=rebalance,
+            rebalance_check_interval=2,
+            rebalance_warmup_blocks=2,
+            rebalance_cooldown_blocks=2,
+            rebalance_skew_threshold=1.5,
+            rebalance_cross_threshold=0.3,
+            rebalance_max_keys=128,
+        )
+        chain = ShardedBlockchain(config, workload)
+        start = time.perf_counter()
+        metrics = chain.run()
+        wall = time.perf_counter() - start
+        replica_ok = chain.consistency_check()
+        chain.close_backend()
+        return metrics, wall, replica_ok
+
+    static, static_wall, static_replica_ok = run("off")
+    adaptive, wall, replica_ok = run("adaptive")
+    ratio = adaptive.throughput_tps / static.throughput_tps
+    checks = {
+        "ledgers_ok": adaptive.extra["ledger_ok"],
+        "certificates_ok": adaptive.extra["certificates_ok"],
+        "static_ledgers_ok": static.extra["ledger_ok"],
+        "migrated": adaptive.extra["migrations"] >= 1,
+        "cross_shard_reduced": adaptive.extra["cross_shard_txns"]
+        < static.extra["cross_shard_txns"],
+        # the acceptance bar: live re-keying recovers >= 2x of the
+        # throughput static hash routing loses to the shifting hotspot
+        "adaptive_holds_2x": ratio >= 2.0,
+        # migrations replay: a fresh replica rebuilt from sub-blocks +
+        # certificates (MigrationRecords included) matches bit-for-bit
+        "replica_replay_identical": replica_ok,
+        "static_replica_identical": static_replica_ok,
+    }
+    return {
+        "case": "adaptive_skew",
+        "params": {
+            "shards": 4,
+            "router_policy": "hash",
+            "block_size": block_size,
+            "num_blocks": num_blocks,
+            "theta": 1.3,
+        },
+        "basis": "simulated",
+        "speedup_kind": "throughput",
+        "naive_s": round(static.sim_time_us / 1e6, 6),
+        "indexed_s": round(adaptive.sim_time_us / 1e6, 6),
+        "naive_wall_s": round(static_wall, 6),
+        "indexed_wall_s": round(wall, 6),
+        "speedup": round(ratio, 2),
+        "committed": adaptive.committed,
+        "static_committed": static.committed,
+        "migrations": adaptive.extra["migrations"],
+        "ownership_epoch": adaptive.extra["ownership_epoch"],
+        "cross_shard_txns": adaptive.extra["cross_shard_txns"],
+        "static_cross_shard_txns": static.extra["cross_shard_txns"],
+        "checks": checks,
+    }
+
+
+def bench_scan_footprints(smoke: bool, seed: int) -> dict:
+    """Range-read footprint routing vs the endpoint/broadcast reference.
+
+    ``adv-scan`` with ``wide_scan_ratio`` emits scans that deliberately
+    cross partition bounds — the shape where endpoint routing under-covers
+    and the pre-footprint router had to broadcast. With
+    ``scan_footprints`` the router compiles each spec's
+    :class:`~repro.workloads.base.ScanFootprint` (point keys + exact
+    index-space ranges) into the true participant set; with it off, the
+    same specs fall back to ``spec_keys`` (``None`` for wide scans —
+    broadcast). Both runs must be decision- and state-identical (a spare
+    participant only ever votes commit on an empty footprint), and the
+    footprint run must shrink the summed participant sets and not lose
+    throughput.
+    """
+    from repro.shard.router import ShardRouter
+    from repro.shard.system import ShardConfig, ShardedBlockchain
+    from repro.sim.rng import SeededRng
+    from repro.workloads import make_workload
+
+    num_blocks, block_size = 10, 40
+    run_seed = seed % 100_000
+
+    def workload():
+        return make_workload(
+            "adv-scan", num_keys=240, wide_scan_ratio=0.5, wide_span=48
+        )
+
+    def run(footprints: bool):
+        config = ShardConfig(
+            system="harmony",
+            block_size=block_size,
+            num_blocks=num_blocks,
+            seed=run_seed,
+            num_shards=4,
+            scan_footprints=footprints,
+        )
+        chain = ShardedBlockchain(config, workload())
+        start = time.perf_counter()
+        metrics = chain.run()
+        wall = time.perf_counter() - start
+        chain.close_backend()
+        return metrics, wall
+
+    broadcast, broadcast_wall = run(False)
+    footprint, wall = run(True)
+
+    # participant-set accounting on the identical stream, straight off the
+    # router (the decision layer's exact computation, no chain in the way)
+    stream_workload = workload()
+    rng = SeededRng(run_seed)
+    router = ShardRouter.for_workload(stream_workload, 4)
+    specs = [
+        spec
+        for _ in range(num_blocks)
+        for spec in stream_workload.generate_block(block_size, rng)
+    ]
+    footprint_sum = sum(
+        len(router.route_spec(stream_workload, s)[0]) for s in specs
+    )
+    router.use_footprints = False
+    broadcast_sum = sum(
+        len(router.route_spec(stream_workload, s)[0]) for s in specs
+    )
+
+    ratio = footprint.throughput_tps / broadcast.throughput_tps
+    checks = {
+        "ledgers_ok": footprint.extra["ledger_ok"],
+        "certificates_ok": footprint.extra["certificates_ok"],
+        "decisions_identical": footprint.extra["decision_digest"]
+        == broadcast.extra["decision_digest"],
+        "state_identical": footprint.extra["state_hash"]
+        == broadcast.extra["state_hash"],
+        "participants_shrink": footprint_sum < broadcast_sum,
+        "no_throughput_loss": ratio >= 1.0,
+    }
+    return {
+        "case": "scan_footprints",
+        "params": {
+            "shards": 4,
+            "block_size": block_size,
+            "num_blocks": num_blocks,
+            "wide_scan_ratio": 0.5,
+        },
+        "basis": "simulated",
+        "speedup_kind": "throughput",
+        "naive_s": round(broadcast.sim_time_us / 1e6, 6),
+        "indexed_s": round(footprint.sim_time_us / 1e6, 6),
+        "naive_wall_s": round(broadcast_wall, 6),
+        "indexed_wall_s": round(wall, 6),
+        "speedup": round(ratio, 2),
+        "participants_footprint": footprint_sum,
+        "participants_broadcast": broadcast_sum,
+        "participant_shrink": round(broadcast_sum / footprint_sum, 2)
+        if footprint_sum
+        else float("inf"),
+        "checks": checks,
+    }
+
+
 def _case(name: str, params: dict, naive_s: float, indexed_s: float, checks: dict) -> dict:
     return {
         "case": name,
@@ -1279,6 +1483,8 @@ def run_perf(smoke: bool = False, out_path: str | None = None) -> dict:
     cases.extend(bench_tpcc_sharded(smoke, seed + 17))
     cases.append(bench_adversarial_contention(60 if smoke else 150, repeats, seed + 18))
     cases.append(bench_obs_overhead(smoke, seed + 19))
+    cases.append(bench_adaptive_skew(smoke, seed + 20))
+    cases.append(bench_scan_footprints(smoke, seed + 21))
 
     run = {
         "bench": "perf",

@@ -26,9 +26,34 @@ from repro.execution import (
     PreparedBlock,
     simulate_transactions,
 )
+from repro.intervals import covers
 from repro.storage.engine import StorageEngine
 from repro.txn.procedures import ProcedureRegistry
-from repro.txn.transaction import Txn
+from repro.txn.transaction import AbortReason, Txn
+
+
+def fence_migrated_keys(txns: list[Txn], fence: frozenset) -> None:
+    """Deterministically abort every transaction touching an in-flight key.
+
+    At a re-key boundary block, a migrated key's previous-block Rule-3
+    facts (committed readers/writers) live on its *old* owner's executor,
+    which the new routing no longer consults — an inter-block validator
+    would silently miss the edges. The fence closes that hole: touching
+    transactions abort at exactly the boundary block, on every replica and
+    every backend identically, and retry under the settled ownership.
+    """
+    for txn in txns:
+        if txn.aborted:
+            continue
+        if (
+            any(key in txn.read_set or key in txn.write_set for key in fence)
+            or any(
+                covers(start, end, key)
+                for start, end in txn.read_ranges
+                for key in fence
+            )
+        ):
+            txn.mark_aborted(AbortReason.MIGRATION_FENCE)
 
 
 @dataclass(frozen=True)
@@ -82,6 +107,11 @@ class HarmonyExecutor(DCCExecutor):
         commit/abort vote — nothing is installed yet."""
         snapshot = self.snapshot_for(block_id, lag=self.config.effective_lag)
         sim_durations = simulate_transactions(txns, snapshot, self.registry, self.engine)
+
+        if self.config.inter_block:
+            fence = self.migration_fences.get(block_id)
+            if fence:
+                fence_migrated_keys(txns, fence)
 
         vstats = self._validator.validate(
             txns,

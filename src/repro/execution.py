@@ -200,6 +200,13 @@ class DCCExecutor:
         #: shard-locality predicate commit steps filter writes through.
         self.snapshot_source = None
         self.key_scope = None
+        #: block_id -> frozenset of keys in flight at that re-key boundary.
+        #: Inter-block validators consult this (the previous block's
+        #: decision facts for a migrated key live on its *old* owner, which
+        #: the new routing no longer asks) and deterministically abort
+        #: touching transactions at exactly the boundary block. Installed
+        #: by every migration-apply surface; empty outside adaptive runs.
+        self.migration_fences: dict[int, frozenset] = {}
 
     # -- subclasses implement ------------------------------------------------
     def prepare_block(self, block_id: int, txns: list[Txn]) -> PreparedBlock:

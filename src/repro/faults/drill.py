@@ -27,7 +27,7 @@ from repro.chain.system import decision_digest
 from repro.core.reordering import KeyApply
 from repro.dcc.oracle import HistoryOracle
 from repro.faults.inject import FaultInjector
-from repro.faults.plan import FaultPlan, standard_plans
+from repro.faults.plan import MIGRATION_KINDS, FaultPlan, standard_plans
 from repro.faults.supervisor import RetryPolicy, SupervisedShardGroup
 from repro.shard.system import ShardConfig, ShardedBlockchain
 from repro.sim.rng import SeededRng
@@ -45,8 +45,9 @@ DRILL_WORKLOADS = (
     "adv-scan",
     "adv-skewshift",
 )
-#: the per-PR smoke gate always drills TPC-C next to smallbank
-SMOKE_WORKLOADS = ("smallbank", "tpcc")
+#: the per-PR smoke gate always drills TPC-C and the skew-shift
+#: adversary (the workload live re-keying exists for) next to smallbank
+SMOKE_WORKLOADS = ("smallbank", "tpcc", "adv-skewshift")
 #: the fast gate: one representative per fault family
 SMOKE_PLAN_NAMES = frozenset(
     {
@@ -56,6 +57,8 @@ SMOKE_PLAN_NAMES = frozenset(
         "torn-base-compaction",
         "vote-drop",
         "partition-2pc",
+        "migration-crash",
+        "torn-migration-delta",
     }
 )
 
@@ -103,6 +106,7 @@ def _build_chain(
     block_size: int,
     backend: str,
     workload_name: str = "smallbank",
+    rebalance: bool = False,
 ):
     affinity = ShardAffinity(num_shards, 0.5) if num_shards > 1 else None
     if workload_name == "smallbank":
@@ -113,6 +117,22 @@ def _build_chain(
         )
     else:
         workload = make_workload(workload_name, profile="gate", affinity=affinity)
+    # migration-family drills arm an aggressive adaptive policy (warmup 2,
+    # check every 2 blocks) so a re-key is actually due at the faulted
+    # block; every other plan keeps the historical static routing
+    extra = (
+        dict(
+            rebalance="adaptive",
+            rebalance_check_interval=2,
+            rebalance_warmup_blocks=2,
+            rebalance_cooldown_blocks=2,
+            rebalance_skew_threshold=1.0,
+            rebalance_cross_threshold=0.0,
+            rebalance_max_keys=8,
+        )
+        if rebalance
+        else {}
+    )
     config = ShardConfig(
         system=scheme,
         num_shards=num_shards,
@@ -121,6 +141,7 @@ def _build_chain(
         checkpoint_interval=2,
         checkpoint_base_interval=2,
         backend=backend,
+        **extra,
     )
     return ShardedBlockchain(config, workload)
 
@@ -160,12 +181,17 @@ def run_drill(
     # by the supervisor force the serial fallback, which is exactly the
     # auto-fallback contract under drill — injected faults keep firing
     # in-process, and the run stays bit-comparable to the serial reference.
-    disturbed = _build_chain(scheme, num_shards, plan, block_size, "process", workload)
+    rebalance = any(e.kind in MIGRATION_KINDS for e in plan.events)
+    disturbed = _build_chain(
+        scheme, num_shards, plan, block_size, "process", workload, rebalance
+    )
     if tracer is not None:
         from repro.obs.trace import attach_tracer
 
         attach_tracer(disturbed, tracer)
-    reference = _build_chain(scheme, num_shards, plan, block_size, "serial", workload)
+    reference = _build_chain(
+        scheme, num_shards, plan, block_size, "serial", workload, rebalance
+    )
     supervisor = SupervisedShardGroup(
         disturbed, FaultInjector(plan, num_shards), policy
     )

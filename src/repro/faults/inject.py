@@ -68,6 +68,7 @@ class FaultInjector:
         """Arm every seam of ``chain``; idempotent."""
         chain.fault_hook = self.crash_directive
         chain.vote_channel = FaultyVoteChannel(self.plan)
+        chain.migration_hook = self.migration_fates
         for shard, node in enumerate(chain.group.nodes):
             self.arm_node(shard, node)
 
@@ -93,6 +94,22 @@ class FaultInjector:
         if not before and not after:
             return None
         return before, after
+
+    def migration_fates(self, block_id: int) -> dict | None:
+        """The migration seam: per-shard boundary-shipment fates for a
+        re-key at ``block_id`` (``{shard: "skip" | "torn"}``), one-shot —
+        the supervisor's re-shipment to the rebuilt shard must land."""
+        fates = {}
+        for shard in range(self.num_shards):
+            fate = self.plan.migration_fate(shard, block_id)
+            if fate is None:
+                continue
+            key = ("migration", shard, block_id)
+            if key in self._fired:
+                continue
+            self._fired.add(key)
+            fates[shard] = fate
+        return fates or None
 
     def _checkpoint_fault(self, shard: int, block_id: int) -> str | None:
         fault = self.plan.checkpoint_fault(shard, block_id)

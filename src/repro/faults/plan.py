@@ -57,11 +57,24 @@ VOTE_DELAY = "vote-delay"
 #: timeout vetoes and the shard catches up when the window closes
 PARTITION = "partition"
 
+# -- migration faults ---------------------------------------------------
+#: the shard dies between the ownership-record append and the arrival of
+#: its key-version shipment: the boundary load never happens ("skip"),
+#: the shard is rebuilt from its durable artifacts and re-shipped
+CRASH_DURING_MIGRATION = "crash-during-migration"
+#: the shard dies mid-apply: half the boundary shipment landed ("torn") —
+#: the corrupt store is discarded by recovery, never read by a peer
+TORN_MIGRATION = "torn-migration-delta"
+
 CRASH_KINDS = frozenset(
     {CRASH_BEFORE_PREPARE, CRASH_AFTER_PREPARE, CRASH_AFTER_COMMIT}
 )
 VOTE_KINDS = frozenset({VOTE_DROP, VOTE_DUPLICATE, VOTE_DELAY, PARTITION})
-ALL_KINDS = CRASH_KINDS | VOTE_KINDS
+#: migration faults only fire on a rebalance-armed chain, so they live in
+#: their own family — outside the chaos generator's kind pool (seeded
+#: chaos streams predate them and must stay byte-stable)
+MIGRATION_KINDS = frozenset({CRASH_DURING_MIGRATION, TORN_MIGRATION})
+ALL_KINDS = CRASH_KINDS | VOTE_KINDS | MIGRATION_KINDS
 
 
 @dataclass(frozen=True)
@@ -152,8 +165,19 @@ class FaultPlan:
             for e in self.events
             if e.shard == shard
             and e.block_id == block_id
-            and e.kind in CRASH_KINDS
+            and (e.kind in CRASH_KINDS or e.kind in MIGRATION_KINDS)
         )
+
+    def migration_fate(self, shard: int, block_id: int) -> str | None:
+        """Boundary-shipment fate at a migration-crash site: ``"skip"``
+        (died before the load), ``"torn"`` (died mid-apply) or ``None``."""
+        for e in self.crashes(block_id, TORN_MIGRATION):
+            if e.shard == shard:
+                return "torn"
+        for e in self.crashes(block_id, CRASH_DURING_MIGRATION):
+            if e.shard == shard:
+                return "skip"
+        return None
 
     def checkpoint_fault(self, shard: int, block_id: int) -> str | None:
         """Checkpoint-write fate at a crash-after-commit site:
@@ -191,7 +215,9 @@ def generate_chaos_plan(
     if num_blocks < 4:
         raise ValueError("chaos plans need at least four blocks of room")
     rng = SeededRng(seed, "faults/chaos")
-    kinds = sorted(ALL_KINDS)
+    # migration kinds need a rebalance-armed chain, so chaos draws from the
+    # original pool — existing seeded streams stay byte-stable
+    kinds = sorted(ALL_KINDS - MIGRATION_KINDS)
     candidates = list(range(1, num_blocks - 1))
     blocks = sorted(rng.sample(candidates, min(num_events, len(candidates))))
     events = []
@@ -286,6 +312,16 @@ def standard_plans(
         plan(
             "partition-2pc",
             FaultEvent(PARTITION, block_id=5, shard=s(2), attempts=2),
+        ),
+        # migration family: drills arm an aggressive rebalance policy for
+        # these, so a re-key is actually due at the faulted block
+        plan(
+            "migration-crash",
+            FaultEvent(CRASH_DURING_MIGRATION, block_id=4, shard=s(1)),
+        ),
+        plan(
+            "torn-migration-delta",
+            FaultEvent(TORN_MIGRATION, block_id=4, shard=s(0)),
         ),
         generate_chaos_plan(seed, num_blocks, num_shards),
     ]

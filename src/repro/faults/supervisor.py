@@ -38,7 +38,9 @@ from repro.faults.plan import (
     CRASH_AFTER_COMMIT,
     CRASH_AFTER_PREPARE,
     CRASH_BEFORE_PREPARE,
+    MIGRATION_KINDS,
 )
+from repro.shard.rebalance import migration_store_deltas
 from repro.shard.recovery import recover_shard_node
 from repro.shard.twopc import ShardVote
 
@@ -120,27 +122,44 @@ class SupervisedShardGroup:
 
         self._heal_lagging(bid)
 
-        participants = [
-            chain.router.participants_of(chain.workload, spec)
-            for spec in block.specs
-        ]
-        chain.participants_log.append(participants)
-        cross_tids = {
-            block.first_tid + j
-            for j, shards in enumerate(participants)
-            if len(shards) > 1
-        }
+        def _migration_barrier() -> None:
+            # a due re-key ships key versions as of bid-1, so every store
+            # must reach the boundary first: stragglers (open partition
+            # windows) are forced to sync — the shipment's source values
+            # must match the reference chain's, or the hash-covered record
+            # (and with it the certificate chain) would diverge
+            for shard, node in enumerate(chain.group.nodes):
+                if node.engine.store.last_committed_block < bid - 1:
+                    self._catch_up(shard, node)
+
+        migration, participants, cross_tids, sub_blocks = (
+            chain.route_global_block(block, migration_barrier=_migration_barrier)
+        )
         expected = {
             block.first_tid + j: shards
             for j, shards in enumerate(participants)
             if len(shards) > 1
         }
-        sub_blocks = chain.sequencer.split(block, participants)
         self.sub_block_log.append(sub_blocks)
 
         tracer = getattr(chain, "tracer", None)
         lagging = plan.lagging_shards(bid)
-        dead_before = plan.crash_shards(bid, CRASH_BEFORE_PREPARE)
+        # migration-family faults: the shard died while the boundary
+        # shipment was in flight (its store load was skipped or torn by the
+        # armed hook). The shipment is a synchronous coordinated step, so
+        # the supervisor detects the casualty immediately and rebuilds the
+        # shard *before* any peer can read the corrupt boundary state. If
+        # no migration was actually due, degrade to a plain before-prepare
+        # crash — the fault still fires, just without a shipment to tear.
+        mig_dead = {
+            shard
+            for kind in sorted(MIGRATION_KINDS)
+            for shard in plan.crash_shards(bid, kind)
+        }
+        if migration is not None and mig_dead:
+            self._recover_migration_casualties(mig_dead, migration, bid, tracer)
+            mig_dead = set()
+        dead_before = plan.crash_shards(bid, CRASH_BEFORE_PREPARE) | mig_dead
         self._crashed |= dead_before
         if tracer is not None:
             for shard in sorted(dead_before):
@@ -229,7 +248,9 @@ class SupervisedShardGroup:
                     )
                 cast.extend(self._votes_from({shard: prep}, cross_tids))
 
-        certificate = chain.cert_log.append(arrived, bid, expected=expected)
+        certificate = chain.cert_log.append(
+            arrived, bid, expected=expected, migration=migration
+        )
 
         # --- commit phase ----------------------------------------------
         executions = chain.group.finish(
@@ -345,22 +366,88 @@ class SupervisedShardGroup:
             )
         return recovery.node
 
+    def _recover_migration_casualties(
+        self, shards, migration, bid: int, tracer
+    ) -> None:
+        """Rebuild every shard whose migration shipment was fated.
+
+        The certificate for ``bid`` does not exist yet (votes haven't been
+        cast), so recovery replays only through ``bid - 1`` — the
+        supervisor then re-ships this record's boundary deltas to the
+        rebuilt store, and the shard prepares ``bid`` live like everyone
+        else."""
+        chain = self.chain
+        for shard in sorted(shards):
+            self._crashed.add(shard)
+            if tracer is not None:
+                tracer.fault(
+                    "crash", block=bid, shard=shard,
+                    attrs={"window": "during-migration"},
+                )
+            node = None
+            tries = 0
+            while node is None:
+                tries += 1
+                if tries > self.policy.max_attempts:
+                    raise RuntimeError(
+                        f"shard {shard} recovery exceeded retry budget"
+                    )
+                node = self._recover(shard, bid)
+            node.executor.migration_fences[migration.block_id] = frozenset(
+                dict(migration.moves)
+            )
+            incoming, outgoing = migration_store_deltas(migration, chain.router)
+            items = dict(outgoing.get(shard, ()))
+            items.update(incoming.get(shard, ()))
+            if items:
+                node.engine.apply_migration(migration.block_id - 1, items)
+            chain._store_mig_epochs[shard] = migration.epoch
+
     def _catch_up(self, shard: int, node) -> None:
         """Deliver every logged-and-certified sub-block the replica's
-        ledger doesn't cover yet (torn log tails, missed windows)."""
+        ledger doesn't cover yet (torn log tails, missed windows).
+
+        Migration-aware: a certified re-key at block *b* re-applies its
+        boundary shipment before block *b*'s replay iff the live shipment
+        skipped this store (watermark below the record's epoch — the store
+        was behind the boundary when it fired). The router cursor is
+        pinned to each replayed height so key scopes and snapshot routing
+        resolve under the historical epoch."""
         chain = self.chain
+        router = chain.router
         from_block = len(node.ledger)
         caught_up = 0
-        for b in range(from_block, len(self.sub_block_log)):
-            prep = node.prepare_block(self.sub_block_log[b][shard])
-            execution = node.finish_block(prep, chain.cert_log[b].abort_tids)
-            self._shard_block_txns.setdefault(
-                (shard, b), {t.tid: t for t in execution.txns}
-            )
-            self.injected_delay_us += chain.network.rtt_us(
-                chain.config.num_shards
-            )
-            caught_up += 1
+        saved_height = router.cursor_height
+        try:
+            for b in range(from_block, len(self.sub_block_log)):
+                router.advance_to(b)
+                record = chain.cert_log[b].migration
+                if record is not None:
+                    node.executor.migration_fences[b] = frozenset(
+                        dict(record.moves)
+                    )
+                if (
+                    record is not None
+                    and chain._store_mig_epochs[shard] < record.epoch
+                    and node.engine.store.last_committed_block == b - 1
+                ):
+                    incoming, outgoing = migration_store_deltas(record, router)
+                    items = dict(outgoing.get(shard, ()))
+                    items.update(incoming.get(shard, ()))
+                    if items:
+                        node.engine.apply_migration(b - 1, items)
+                    chain._store_mig_epochs[shard] = record.epoch
+                prep = node.prepare_block(self.sub_block_log[b][shard])
+                execution = node.finish_block(prep, chain.cert_log[b].abort_tids)
+                self._shard_block_txns.setdefault(
+                    (shard, b), {t.tid: t for t in execution.txns}
+                )
+                self.injected_delay_us += chain.network.rtt_us(
+                    chain.config.num_shards
+                )
+                caught_up += 1
+        finally:
+            router.advance_to(saved_height)
         if caught_up:
             tracer = getattr(chain, "tracer", None)
             if tracer is not None:

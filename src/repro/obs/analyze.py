@@ -9,7 +9,7 @@ deterministic ``sim_us`` clock, so breakdowns work on both clocks.
 
 from __future__ import annotations
 
-from repro.obs.trace import KIND_ANNO, KIND_FAULT, Span
+from repro.obs.trace import KIND_ANNO, KIND_EVENT, KIND_FAULT, Span
 
 
 def span_us(span: Span) -> float:
@@ -34,7 +34,12 @@ def stage_breakdown(spans: list[Span]) -> dict[str, dict]:
 
 def shard_skew(spans: list[Span]) -> dict[int, dict]:
     """Per-shard load: busy simulated time, txns committed/aborted, and
-    the ``skew`` ratio (busy / mean busy) — the adaptive-sharding input."""
+    the ``skew`` ratio (busy / mean busy) — the adaptive-sharding input.
+
+    Degenerate traces (no busy time anywhere, a single shard, or no
+    sharded spans at all) report a skew of exactly ``1.0`` — a perfectly
+    balanced fleet, not a division-by-zero artifact. A rebalance policy
+    reading 0.0 would see "infinitely under-loaded" and could flap."""
     out: dict[int, dict] = {}
     for span in spans:
         if span.shard is None or span.kind == KIND_ANNO:
@@ -51,7 +56,9 @@ def shard_skew(spans: list[Span]) -> dict[int, dict]:
     if out:
         mean_busy = sum(e["busy_us"] for e in out.values()) / len(out)
         for entry in out.values():
-            entry["skew"] = entry["busy_us"] / mean_busy if mean_busy > 0 else 0.0
+            entry["skew"] = (
+                entry["busy_us"] / mean_busy if mean_busy > 0 else 1.0
+            )
     return out
 
 
@@ -156,6 +163,25 @@ def render_report(spans: list[Span], meta: dict | None = None, top: int = 5) -> 
         sections.append(
             "per-shard load skew\n"
             + _table(["shard", "busy ms", "committed", "aborted", "skew"], rows)
+        )
+
+    migrations = [
+        s for s in spans if s.kind == KIND_EVENT and s.name == "migrate"
+    ]
+    if migrations:
+        rows = [
+            [
+                str(s.block) if s.block is not None else "-",
+                str(s.attrs.get("epoch", "-")),
+                str(s.attrs.get("keys", "-")),
+                str(s.attrs.get("shipped", "-")),
+                str(s.attrs.get("reason", "-")),
+            ]
+            for s in migrations
+        ]
+        sections.append(
+            "ownership migrations (live re-keying)\n"
+            + _table(["block", "epoch", "keys", "shipped", "reason"], rows)
         )
 
     ranked = slowest_blocks(spans, top)

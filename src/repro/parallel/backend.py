@@ -50,9 +50,10 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.shard.federated import FederatedSnapshot
+from repro.shard.rebalance import migration_store_deltas
 from repro.sim.costs import CostModel
 from repro.storage.engine import StorageEngine
-from repro.storage.mvstore import MVStore
+from repro.storage.mvstore import MIGRATION_SEQ_BASE, MVStore
 from repro.storage.wal import LogMode
 
 
@@ -95,6 +96,10 @@ class ShardReset:
     #: the last ``lag`` blocks' ordered writes under their *real* block
     #: ids, so version checks at historical heights stay exact
     blocks: list
+    #: ownership epochs already *baked into* ``base_state`` — migration
+    #: records at or below this epoch must not re-apply their store deltas
+    #: to the reset store (the router table entry still installs)
+    ownership_epoch: int = 0
 
 
 @dataclass
@@ -112,10 +117,16 @@ class PrepareTask:
     deltas: list
     #: pending store replacements (rejoin/recovery invalidation)
     resets: list = field(default_factory=list)
+    #: certified :class:`~repro.shard.rebalance.MigrationRecord`\ s not yet
+    #: shipped to this worker, in epoch order — interleaved with ``deltas``
+    #: by block height on the worker side
+    migrations: list = field(default_factory=list)
     #: committed height every store must sit at before preparing
     expect_height: int = -1
     #: per-shard invalidation epochs the worker must have observed
     expect_epochs: tuple = ()
+    #: ownership epoch the worker's router must reach before preparing
+    expect_ownership_epoch: int = 0
 
 
 class _WorkerState:
@@ -137,6 +148,9 @@ class _WorkerState:
         self.stores: list = [None] * num_shards
         self.executors: dict = {}
         self.epochs = [0] * num_shards
+        #: newest ownership epoch whose *store deltas* each shard's store
+        #: has absorbed (via migration replay or a covering reset)
+        self.store_mig_epochs = [0] * num_shards
         from repro.chain.system import build_executor
 
         for shard in range(num_shards):
@@ -180,12 +194,24 @@ class _WorkerState:
         # list), mirroring ShardGroup.rejoin on the main side
         self.stores[reset.shard] = store
         self.epochs[reset.shard] = reset.epoch
+        self.store_mig_epochs[reset.shard] = max(
+            self.store_mig_epochs[reset.shard], reset.ownership_epoch
+        )
         executor = self.executors.get(reset.shard)
         if executor is not None:
             executor.engine.store = store
 
-    def advance(self, deltas: list) -> None:
+    def advance(self, deltas: list, migrations: list = ()) -> None:
+        """Replay shipped per-block writes, interleaving migration records
+        at their exact boundary: a record certified at block *H* ships its
+        key versions inside block *H-1*, so it lands after *H-1*'s delta
+        and before *H*'s."""
+        pending = sorted(migrations, key=lambda record: record.block_id)
+        cursor = 0
         for block_id, per_shard in deltas:
+            while cursor < len(pending) and pending[cursor].block_id <= block_id:
+                self.apply_migration(pending[cursor])
+                cursor += 1
             for shard, writes in enumerate(per_shard):
                 if writes is None:
                     # recorded during a fault window for a shard that
@@ -195,8 +221,54 @@ class _WorkerState:
                 if store.last_committed_block >= block_id:
                     continue  # a reset already covered this block
                 store.apply_block(block_id, writes)
+        for record in pending[cursor:]:
+            self.apply_migration(record)
+
+    def apply_migration(self, record) -> None:
+        """Install one certified ownership change worker-side.
+
+        The router table entry always installs (epochs are strictly
+        sequential; duplicates are dropped). Store deltas apply only to a
+        store sitting exactly at the boundary height whose migration
+        watermark is below the record's epoch — resets bake newer state in
+        and must not be double-applied.
+        """
+        router = self.router
+        if router is None:
+            return
+        if record.epoch == router.ownership.epoch + 1:
+            router.apply_migration(record)
+        fence = frozenset(dict(record.moves))
+        for executor in self.executors.values():
+            executor.migration_fences[record.block_id] = fence
+        incoming, outgoing = migration_store_deltas(record, router)
+        boundary = record.block_id - 1
+        for shard in sorted(set(incoming) | set(outgoing)):
+            if self.store_mig_epochs[shard] >= record.epoch:
+                continue
+            store = self.stores[shard]
+            if store.last_committed_block != boundary:
+                continue
+            items = dict(outgoing.get(shard, ()))
+            items.update(incoming.get(shard, ()))
+            executor = self.executors.get(shard)
+            if executor is not None:
+                executor.engine.apply_migration(boundary, items)
+            else:
+                store.load(items, block_id=boundary, seq_start=MIGRATION_SEQ_BASE)
+            self.store_mig_epochs[shard] = record.epoch
 
     def check_fresh(self, task: PrepareTask) -> None:
+        if (
+            self.router is not None
+            and self.router.ownership.epoch != task.expect_ownership_epoch
+        ):
+            raise StalePrepareError(
+                f"block {task.block_id}: worker router at ownership epoch "
+                f"{self.router.ownership.epoch}, expected "
+                f"{task.expect_ownership_epoch} — a migration record never "
+                f"reached this worker"
+            )
         for shard, store in enumerate(self.stores):
             height = store.last_committed_block
             if height != task.expect_height:
@@ -225,8 +297,11 @@ def _worker_run(task: PrepareTask) -> dict:
     state = _WORKER
     for reset in task.resets:
         state.apply_reset(reset)
-    state.advance(task.deltas)
+    state.advance(task.deltas, task.migrations)
     state.check_fresh(task)
+    if state.router is not None:
+        # scope/routing closures resolve ownership as of the prepared block
+        state.router.advance_to(task.block_id)
     results = {}
     for shard in sorted(task.sub_blocks):
         executor = state.executors[shard]
@@ -269,6 +344,10 @@ class ProcessPrepareBackend:
         self._cursor = [0] * workers
         self._pending_resets: list[list[ShardReset]] = [[] for _ in range(workers)]
         self._epochs = [0] * num_shards
+        #: certified migration records not yet shipped, per slot
+        self._pending_migrations: list[list] = [[] for _ in range(workers)]
+        #: newest certified ownership epoch (workers must match)
+        self._ownership_epoch = 0
         self._height = -1
         #: shards whose recorded suspended-window deltas have holes
         #: (``None`` writes or a skipped block) — they need a full reset
@@ -306,14 +385,17 @@ class ProcessPrepareBackend:
                 prepare_states={s: prepare_states.get(s, {}) for s in owned},
                 deltas=deltas,
                 resets=self._pending_resets[slot],
+                migrations=self._pending_migrations[slot],
                 expect_height=self._height,
                 expect_epochs=tuple(self._epochs),
+                expect_ownership_epoch=self._ownership_epoch,
             )
             delta_count += len(deltas)
             if self._pending_resets[slot]:
                 reset_count += len(self._pending_resets[slot])
                 reset_slots += 1
             self._pending_resets[slot] = []
+            self._pending_migrations[slot] = []
             futures.append(pool.submit(_worker_run, task))
         if self.tracer is not None:
             metrics = self.tracer.metrics
@@ -398,6 +480,26 @@ class ProcessPrepareBackend:
                 self._gapped.add(shard)
         self._height = block_id
 
+    def apply_migration(self, record) -> None:
+        """Queue a certified ownership change for every worker.
+
+        Called at the moment the migration commits main-side (ownership-
+        epoch bump): workers that prepare before the record reaches them
+        fail ``check_fresh`` with :class:`StalePrepareError` instead of
+        routing against stale ownership. The record rides the next task
+        and is interleaved with the delta log by block height worker-side.
+        """
+        self._ownership_epoch = record.epoch
+        for slot in range(len(self._pools)):
+            self._pending_migrations[slot].append(record)
+        if self.tracer is not None:
+            self.tracer.metrics.counter("backend.migrations_shipped").inc()
+            self.tracer.anno(
+                "backend_migrate",
+                block=record.block_id,
+                timing={"epoch": record.epoch, "keys": len(record.moves)},
+            )
+
     # ---------------------------------------------------------- invalidation
     def invalidate(self, shard: int, store, lag: int = 2) -> None:
         """Invalidate every worker's cached store for ``shard``.
@@ -423,6 +525,10 @@ class ProcessPrepareBackend:
                 (b, store.writes_in_block(b))
                 for b in range(max(0, base_block + 1), height + 1)
             ],
+            # the main store has absorbed every certified migration, so a
+            # reset bakes them in — the worker must not re-apply their
+            # store deltas on top
+            ownership_epoch=self._ownership_epoch,
         )
         for slot in range(len(self._pools)):
             self._pending_resets[slot].append(reset)

@@ -96,16 +96,19 @@ def run_sharded_pipelined(chain) -> RunMetrics:
         retry_queue = retry_queue[config.block_size :]
         fresh = workload.generate_block(config.block_size - len(retries), rng)
         block = chain.ordering.form_block(retries + fresh)
-        participants = [
-            chain.router.participants_of(workload, spec) for spec in block.specs
-        ]
-        chain.participants_log.append(participants)
-        cross_tids = {
-            block.first_tid + j
-            for j, shards in enumerate(participants)
-            if len(shards) > 1
-        }
-        sub_blocks = chain.sequencer.split(block, participants)
+
+        def _drain_pending() -> None:
+            # migration barrier: a due re-key ships key versions as of
+            # block i-1, so the deferred commit must land first — the
+            # one-block bubble is the price of an ownership change
+            nonlocal pending
+            if pending is not None:
+                _commit_pending(chain, backend, state, pending)
+                pending = None
+
+        migration, participants, cross_tids, sub_blocks = chain.route_global_block(
+            block, migration_barrier=_drain_pending
+        )
         tracer = chain.tracer
         if tracer is not None:
             tracer.event(
@@ -149,7 +152,9 @@ def run_sharded_pipelined(chain) -> RunMetrics:
             for j, shards in enumerate(participants)
             if len(shards) > 1
         }
-        certificate = chain.cert_log.append(votes, block.block_id, expected=expected)
+        certificate = chain.cert_log.append(
+            votes, block.block_id, expected=expected, migration=migration
+        )
         # the decision is final here: mark the vetoes, derive the records
         # block i+1 validates against, and queue the retries — all before
         # (and idempotent with) the deferred physical commit.

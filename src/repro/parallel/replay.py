@@ -15,28 +15,65 @@ the rebuilt group's state is bit-identical to the serial replay's.
 
 from __future__ import annotations
 
+from repro.shard.rebalance import migration_store_deltas
 from repro.shard.system import ShardGroup
+
+
+def apply_replay_migration(group: ShardGroup, router, record) -> None:
+    """Install a certified migration's store deltas on a replaying group.
+
+    The shared router's ownership table already holds every epoch (replay
+    reuses the live chain's router), so only the per-store shipment at the
+    ``block_id - 1`` boundary happens here — cursor movement is the replay
+    loop's job.
+    """
+    if record is None:
+        return
+    fence = frozenset(dict(record.moves))
+    for node in group.nodes:
+        node.executor.migration_fences[record.block_id] = fence
+    incoming, outgoing = migration_store_deltas(record, router)
+    boundary = record.block_id - 1
+    for shard in sorted(set(incoming) | set(outgoing)):
+        items = dict(outgoing.get(shard, ()))
+        items.update(incoming.get(shard, ()))
+        group.nodes[shard].engine.apply_migration(boundary, items)
 
 
 def replay_group_serial(chain, name_prefix: str = "replay-serial") -> ShardGroup:
     """The reference replay: a fresh group, every block prepared and
-    committed in-process, shard after shard (the seed's discipline)."""
-    other = ShardGroup(
-        chain.config,
-        chain.workload,
-        chain.router,
-        chain.costs,
-        chain.orderer_signer,
-        name_prefix=name_prefix,
-    )
-    height = len(chain.group.nodes[0].ledger)
-    for i in range(height):
-        sub_blocks = {
-            shard: node.ledger[i] for shard, node in enumerate(chain.group.nodes)
-        }
-        prepared = other.prepare(sub_blocks)
-        other.finish(prepared, chain.cert_log[i].abort_tids)
-    return other
+    committed in-process, shard after shard (the seed's discipline).
+
+    Migration-aware: the fresh group splits genesis at epoch 0, and each
+    certified :class:`~repro.shard.rebalance.MigrationRecord` re-applies at
+    exactly its recorded height — the cursor save/restore keeps the shared
+    router usable by the live chain afterwards.
+    """
+    router = chain.router
+    saved_height = router.cursor_height
+    router.advance_to(0)
+    try:
+        other = ShardGroup(
+            chain.config,
+            chain.workload,
+            router,
+            chain.costs,
+            chain.orderer_signer,
+            name_prefix=name_prefix,
+        )
+        height = len(chain.group.nodes[0].ledger)
+        for i in range(height):
+            router.advance_to(i)
+            cert = chain.cert_log[i]
+            apply_replay_migration(other, router, cert.migration)
+            sub_blocks = {
+                shard: node.ledger[i] for shard, node in enumerate(chain.group.nodes)
+            }
+            prepared = other.prepare(sub_blocks)
+            other.finish(prepared, cert.abort_tids)
+        return other
+    finally:
+        router.advance_to(saved_height)
 
 
 def replay_group(
@@ -70,10 +107,13 @@ def replay_group(
         and config.harmony.inter_block
         and config.harmony.effective_lag >= 2
     )
+    router = chain.router
+    saved_height = router.cursor_height
+    router.advance_to(0)
     other = ShardGroup(
         config,
         chain.workload,
-        chain.router,
+        router,
         chain.costs,
         chain.orderer_signer,
         name_prefix=name_prefix,
@@ -87,11 +127,23 @@ def replay_group(
     pending = None  # (block_id, prepared, abort_tids)
     try:
         for i in range(height):
+            router.advance_to(i)
+            cert = chain.cert_log[i]
+            if cert.migration is not None:
+                # migration barrier, exactly as in the live pipelined
+                # driver: the deferred commit lands, every store reaches
+                # the boundary, then the re-key installs main-side and
+                # ships to the (fresh, epoch-0) worker routers
+                if pending is not None:
+                    _commit(other, backend, pending)
+                    pending = None
+                apply_replay_migration(other, router, cert.migration)
+                backend.apply_migration(cert.migration)
             sub_blocks = {
                 shard: node.ledger[i]
                 for shard, node in enumerate(chain.group.nodes)
             }
-            abort_tids = chain.cert_log[i].abort_tids
+            abort_tids = cert.abort_tids
             futures = backend.submit(sub_blocks, decided_states)
             for shard, node in enumerate(other.nodes):
                 node.ingest_block(sub_blocks[shard])
@@ -113,6 +165,7 @@ def replay_group(
             _commit(other, backend, pending)
     finally:
         backend.close()
+        router.advance_to(saved_height)
     return other
 
 

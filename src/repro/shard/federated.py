@@ -31,12 +31,21 @@ class FederatedSnapshot:
         self._router = router
         self._views = [store.snapshot(block_id) for store in stores]
         self.block_id = block_id
+        #: reads at snapshot ``h`` route by the owner at ``h + 1``:
+        #: ownership migrations ship their deltas *inside* the boundary
+        #: block, so a pre-boundary snapshot still finds the value (and no
+        #: tombstone) on the source shard, a post-boundary one on the
+        #: destination.
+        self._owner_height = block_id + 1
+
+    def _owner(self, key: object) -> int:
+        return self._router.shard_of_at(key, self._owner_height)
 
     def get(self, key: object):
-        return self._views[self._router.shard_of(key)].get(key)
+        return self._views[self._owner(key)].get(key)
 
     def get_entry(self, key: object):
-        return self._views[self._router.shard_of(key)].get_entry(key)
+        return self._views[self._owner(key)].get_entry(key)
 
     def scan(self, start: object, end: object, indexed: bool = True):
         """Merged range read across every shard's key range.

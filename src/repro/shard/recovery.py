@@ -24,6 +24,7 @@ from repro.chain.recovery import rebuild_engine
 from repro.chain.system import decision_digest
 from repro.core.harmony import HarmonyExecutor
 from repro.shard.federated import FederatedSnapshot
+from repro.shard.rebalance import migration_store_deltas
 from repro.shard.router import ShardRouter
 from repro.shard.twopc import CertificateLog
 from repro.sim.scheduler import BlockTiming, replay_lanes
@@ -100,6 +101,7 @@ def recover_shard_node(
     replayed: list[tuple[int, list]] = []
     timings: list[BlockTiming] = []
     pending = None  # (PreparedBlock, abort_tids) with its commit deferred
+    saved_height = router.cursor_height
     for block in crashed.engine.block_log.blocks_after(-1):
         recovered.ledger.append(block)
         recovered.engine.block_log.append(block)
@@ -116,6 +118,32 @@ def recover_shard_node(
                     f"certificate stream misaligned: position {block.block_id} "
                     f"holds block {certificate.block_id}"
                 )
+            if certificate.migration is not None:
+                # migration barrier: the record ships key versions inside
+                # block i-1, so a deferred commit must land first (same
+                # discipline as the live pipelined driver); commit_block
+                # re-derives the decided records, so the subsequent
+                # prepare sees the identical state either way. Records at
+                # or below ``replay_from`` are baked into the checkpoint
+                # (the engine buffers migration loads for the delta chain)
+                # and never reach this branch.
+                if pending is not None:
+                    prev_prepared, prev_aborts = pending
+                    execution = executor.commit_block(prev_prepared, prev_aborts)
+                    timings.append(_replay_timing(execution))
+                    pending = None
+                router.advance_to(block.block_id)
+                record = certificate.migration
+                executor.migration_fences[record.block_id] = frozenset(
+                    dict(record.moves)
+                )
+                incoming, outgoing = migration_store_deltas(record, router)
+                items = dict(outgoing.get(shard_id, ()))
+                items.update(incoming.get(shard_id, ()))
+                if items:
+                    engine.apply_migration(record.block_id - 1, items)
+            else:
+                router.advance_to(block.block_id)
             if interleave:
                 # pipelined replay: validate block i against block i-1's
                 # *decided* records (certificate vetoes applied), prepare,
@@ -145,6 +173,8 @@ def recover_shard_node(
         prev_prepared, prev_aborts = pending
         execution = executor.commit_block(prev_prepared, prev_aborts)
         timings.append(_replay_timing(execution))
+    # the shared router serves the live group too — put its cursor back
+    router.advance_to(saved_height)
     replay_sim = None
     if timings:
         lag = (

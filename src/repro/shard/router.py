@@ -1,9 +1,9 @@
-"""Deterministic keyspace partitioning: key -> shard.
+"""Deterministic keyspace partitioning: key -> shard, versioned by epoch.
 
 The router is a pure function shared by every replica of every shard —
 routing decisions must never depend on local state, message timing or dict
 iteration order, or replicas would disagree about which shard owns a write.
-Three policies:
+Three static policies:
 
 - ``hash``   — SHA-256 of the key's canonical form, mod ``num_shards``.
   Re-keying safe: the mapping depends only on (key, num_shards), never on
@@ -18,6 +18,14 @@ Three policies:
   partition-local transaction stream is also a single-shard transaction
   stream. Keys outside the index space (``None`` position) fall back to
   the hash policy.
+
+On top of the static policy sits the **ownership-epoch layer**
+(:class:`~repro.shard.rebalance.OwnershipTable`): epoch 0 is the static
+policy, later epochs add per-key overrides effective from an exact block
+height. The router keeps a *height cursor* (:meth:`advance_to`) so the
+hot single-argument lookups (``shard_of``, the executors' ``key_scope``
+closures) stay cursor-relative and cost one extra ``dict.get``, while
+height-explicit callers (snapshot reads, replay) use :meth:`shard_of_at`.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from __future__ import annotations
 import hashlib
 from bisect import bisect_right
 
+from repro.shard.rebalance import OwnershipTable
 from repro.workloads.base import partition_split_points
 
 
@@ -38,6 +47,7 @@ class ShardRouter:
         boundaries: list | None = None,
         index_fn=None,
         index_space: int | None = None,
+        ownership: OwnershipTable | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("need at least one shard")
@@ -67,6 +77,14 @@ class ShardRouter:
             if policy == "workload"
             else None
         )
+        #: consult workload scan footprints (``spec_footprint``) for exact
+        #: participant sets; ``False`` restores the broadcast reference path
+        self.use_footprints = True
+        #: versioned per-key ownership overrides; epoch 0 == static policy
+        self.ownership = ownership if ownership is not None else OwnershipTable()
+        #: the height cursor single-argument lookups resolve against
+        self._cursor_height = 0
+        self._cur_overrides = self.ownership.overrides_at(0)
 
     @classmethod
     def for_workload(cls, workload, num_shards: int) -> "ShardRouter":
@@ -86,9 +104,39 @@ class ShardRouter:
             )
         return cls(num_shards, policy="hash")
 
+    # ------------------------------------------------------------- epochs
+    @property
+    def ownership_epoch(self) -> int:
+        """The newest installed ownership epoch."""
+        return self.ownership.epoch
+
+    @property
+    def cursor_height(self) -> int:
+        return self._cursor_height
+
+    def advance_to(self, height: int) -> None:
+        """Point the cursor at ``height``; single-argument lookups then
+        resolve ownership as of that block. Replay surfaces save/restore
+        the cursor around their loops."""
+        self._cursor_height = height
+        self._cur_overrides = self.ownership.overrides_at(height)
+
+    def apply_migration(self, record) -> int:
+        """Install a certified ownership change and move the cursor to its
+        effective height. Epochs are strictly sequential — a gap means a
+        replica missed a record, which must fail loudly."""
+        if record.epoch != self.ownership.epoch + 1:
+            raise ValueError(
+                f"migration epoch {record.epoch} does not follow "
+                f"installed epoch {self.ownership.epoch}"
+            )
+        self.ownership.append(record.block_id, dict(record.moves))
+        self.advance_to(record.block_id)
+        return record.epoch
+
     # ------------------------------------------------------------- routing
-    def shard_of(self, key: object) -> int:
-        """The shard owning ``key``; deterministic across replicas."""
+    def base_shard_of(self, key: object) -> int:
+        """The static-policy owner, ignoring ownership epochs."""
         if self.num_shards == 1:
             return 0
         if self.policy == "range":
@@ -98,6 +146,25 @@ class ShardRouter:
             if position is not None:
                 return bisect_right(self._index_bounds, position)
         return self._hash_shard(key)
+
+    def shard_of(self, key: object) -> int:
+        """The shard owning ``key`` at the cursor height; deterministic
+        across replicas."""
+        override = self._cur_overrides.get(key)
+        if override is not None:
+            return override
+        return self.base_shard_of(key)
+
+    def shard_of_at(self, key: object, height: int) -> int:
+        """The shard owning ``key`` at block ``height`` (cursor-free).
+
+        Snapshot reads at height ``h`` route by the owner at ``h + 1``:
+        migration deltas land inside the boundary block, so the value
+        visible at a pre-boundary snapshot is still on the source."""
+        override = self.ownership.overrides_at(height).get(key)
+        if override is not None:
+            return override
+        return self.base_shard_of(key)
 
     def _hash_shard(self, key: object) -> int:
         digest = hashlib.sha256(repr(key).encode()).digest()
@@ -110,22 +177,67 @@ class ShardRouter:
         """Participant set of a key footprint."""
         return frozenset(self.shard_of(key) for key in keys)
 
-    def participants_of(self, workload, spec) -> frozenset:
-        """Shards a transaction runs on, from its static key footprint.
+    def route_spec(self, workload, spec) -> tuple[frozenset, list]:
+        """``(participants, routed (key, shard) pairs)`` in one pass.
 
-        An unknown footprint (``spec_keys`` returned ``None`` — e.g. a
-        procedure whose accesses, or scan ranges, are not a pure function
-        of its parameters) is routed to *every* shard: conservative, always
-        correct, and the cost shows up as cross-shard coordination instead
-        of a consistency hole. An *empty* footprint gets the same
-        treatment — every transaction must live in at least one sub-block,
-        and all-shards stays correct even if the workload's static
-        analysis under-reported.
+        Participant sets may be supersets of the true owners (a spare
+        participant prepares an empty local footprint and votes commit);
+        they must never be undersets, or a cross-shard conflict would go
+        unvalidated. Resolution order:
+
+        1. A compiled :class:`~repro.workloads.base.ScanFootprint`
+           (``spec_footprint``): exact point keys plus index-space scan
+           ranges, covered via the static split points *and* a stab of
+           every ownership override inside the ranges — true participant
+           sets for scans instead of a broadcast.
+        2. A static key footprint (``spec_keys``).
+        3. Neither (``None``/empty): broadcast to every shard —
+           conservative, always correct.
         """
+        fp_fn = getattr(workload, "spec_footprint", None) if self.use_footprints else None
+        if fp_fn is not None:
+            footprint = fp_fn(spec)
+            if footprint is not None:
+                pairs = [(key, self.shard_of(key)) for key in footprint.points]
+                shards = {shard for _key, shard in pairs}
+                shards.update(self._range_shards(footprint))
+                if shards:
+                    return frozenset(shards), pairs
+                return frozenset(range(self.num_shards)), pairs
         keys = workload.spec_keys(spec)
         if not keys:
-            return frozenset(range(self.num_shards))
-        return self.shards_for(keys)
+            return frozenset(range(self.num_shards)), []
+        pairs = [(key, self.shard_of(key)) for key in keys]
+        return frozenset(shard for _key, shard in pairs), pairs
+
+    def _range_shards(self, footprint) -> set:
+        """Shards whose ownership intersects the footprint's index ranges."""
+        if not footprint.ranges:
+            return set()
+        shards: set[int] = set()
+        if self._index_bounds is not None:
+            # Static cover: the contiguous shard span of each range.
+            for lo, hi in footprint.ranges:
+                if hi <= lo:
+                    continue
+                first = bisect_right(self._index_bounds, lo)
+                last = bisect_right(self._index_bounds, hi - 1)
+                shards.update(range(first, last + 1))
+        else:
+            # Hash/range policies cannot bound a scan in index space.
+            return set(range(self.num_shards))
+        # Overridden keys inside a scanned range may live anywhere: stab
+        # each override's index position against the compiled ranges.
+        if self._cur_overrides and self._index_fn is not None:
+            for key, shard in self._cur_overrides.items():
+                position = self._index_fn(key)
+                if position is not None and footprint.covers_index(position):
+                    shards.add(shard)
+        return shards
+
+    def participants_of(self, workload, spec) -> frozenset:
+        """Shards a transaction runs on, from its static footprint."""
+        return self.route_spec(workload, spec)[0]
 
     def split_state(self, state: dict) -> list[dict]:
         """Partition an initial-state map into per-shard slices."""

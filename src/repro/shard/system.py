@@ -41,6 +41,11 @@ from repro.consensus.kafka import KafkaOrdering
 from repro.consensus.network import NetworkModel
 from repro.dcc.oracle import SerializabilityOracle
 from repro.shard.federated import FederatedSnapshot
+from repro.shard.rebalance import (
+    RebalancePolicy,
+    build_migration_record,
+    migration_store_deltas,
+)
 from repro.shard.router import ShardRouter
 from repro.shard.twopc import CertificateLog, derive_votes
 from repro.sim.costs import CostModel
@@ -73,6 +78,26 @@ class ShardConfig(OEConfig):
     vote_bytes: int = 64
     #: retain per-block executions + merged transactions (tests/oracles)
     keep_history: bool = False
+    #: live re-keying: ``"off"`` pins the epoch-0 static routing; ``"adaptive"``
+    #: arms a :class:`~repro.shard.rebalance.RebalancePolicy` that watches
+    #: decision-layer telemetry and re-keys hot keys mid-run
+    rebalance: str = "off"
+    #: blocks between rebalance decision points (telemetry window length)
+    rebalance_check_interval: int = 4
+    #: blocks before the first decision point may fire
+    rebalance_warmup_blocks: int = 4
+    #: blocks a committed migration suppresses the next one
+    rebalance_cooldown_blocks: int = 4
+    #: window load skew (max/mean) at which the offload trigger fires
+    rebalance_skew_threshold: float = 2.0
+    #: cross-shard txn ratio at which the co-location trigger fires
+    rebalance_cross_threshold: float = 0.5
+    #: most keys one migration record may move
+    rebalance_max_keys: int = 32
+    #: compile workload scan footprints into exact participant sets
+    #: (``False`` restores broadcast routing for scans — the differential
+    #: reference the footprint bench compares against)
+    scan_footprints: bool = True
 
 
 def build_router(config: ShardConfig, workload) -> ShardRouter:
@@ -80,14 +105,17 @@ def build_router(config: ShardConfig, workload) -> ShardRouter:
     processes of the parallel prepare backend rebuild the identical
     routing from (config, workload) alone."""
     if config.router_policy == "workload":
-        return ShardRouter.for_workload(workload, config.num_shards)
-    if config.router_policy == "range":
-        return ShardRouter(
+        router = ShardRouter.for_workload(workload, config.num_shards)
+    elif config.router_policy == "range":
+        router = ShardRouter(
             config.num_shards,
             policy="range",
             boundaries=list(config.range_boundaries),
         )
-    return ShardRouter(config.num_shards, policy="hash")
+    else:
+        router = ShardRouter(config.num_shards, policy="hash")
+    router.use_footprints = getattr(config, "scan_footprints", True)
+    return router
 
 
 @dataclass
@@ -283,6 +311,23 @@ class ShardedBlockchain:
         else:
             self.consensus = KafkaOrdering(self.network, self.costs)
         self.cert_log = CertificateLog()
+        #: adaptive re-keying policy (``config.rebalance="adaptive"``);
+        #: ``None`` pins the static epoch-0 routing for the whole run
+        self.rebalance_policy = (
+            RebalancePolicy.from_config(config)
+            if config.rebalance == "adaptive" and config.num_shards > 1
+            else None
+        )
+        #: migration fault point (``hook(block_id) -> {shard: "skip"|"torn"}``)
+        #: consulted by :meth:`apply_migration` — armed by
+        #: :mod:`repro.faults.inject` for the migration-crash family
+        self.migration_hook = None
+        #: per-shard shipment watermark: the highest migration epoch whose
+        #: store deltas landed on each live store. A store behind the
+        #: boundary (open partition window) skips the live shipment; the
+        #: supervisor's catch-up re-applies it from the certified record,
+        #: keyed off this mark so nothing applies twice.
+        self._store_mig_epochs = [0] * config.num_shards
         #: participant sets per global block (replayed by replicas)
         self.participants_log: list[list[frozenset]] = []
         self.history: list[GlobalBlockRecord] = []
@@ -459,6 +504,140 @@ class ShardedBlockchain:
                 },
             )
 
+    # ---------------------------------------------------------- rebalancing
+    def plan_rebalance(self, block_id: int):
+        """The armed policy's proposal for the start of ``block_id``
+        (telemetry through ``block_id - 1``), or ``None``. Side-effect-free
+        so the pipelined driver can drain its in-flight block between the
+        plan and the commit."""
+        policy = self.rebalance_policy
+        if policy is None:
+            return None
+        return policy.propose(block_id, self.router)
+
+    def commit_rebalance(self, block_id: int, proposal):
+        """Materialize ``proposal`` into the certified record and install
+        it (router, stores, worker caches). Every shard's store must be at
+        height ``block_id - 1`` — the pipelined driver and the fault
+        supervisor enforce that barrier before calling."""
+        router = self.router
+        nodes = self.group.nodes
+
+        def value_of(key):
+            return nodes[router.shard_of(key)].engine.store._latest_entry(key)
+
+        record = build_migration_record(
+            block_id, router.ownership_epoch + 1, proposal, value_of
+        )
+        self.apply_migration(record)
+        self.rebalance_policy.committed(block_id)
+        return record
+
+    def apply_migration(self, record) -> None:
+        """Install a certified ownership change on this replica.
+
+        Router epoch first (shipment routing below resolves sources at the
+        pre-boundary height, which is append-order independent), then the
+        per-shard store loads at the ``block_id - 1`` boundary, then the
+        worker-cache epoch bump (stale workers refuse with
+        ``StalePrepareError`` and get resynced). The armed
+        ``migration_hook`` may fate a shard's shipment ``"skip"`` (crashed
+        before the delta arrived) or ``"torn"`` (crashed mid-apply) — those
+        shards also crash per the fault plan, and recovery re-derives the
+        full shipment from the certificate stream.
+        """
+        fates = (
+            self.migration_hook(record.block_id)
+            if self.migration_hook is not None
+            else None
+        ) or {}
+        self.router.apply_migration(record)
+        fence = frozenset(dict(record.moves))
+        for node in self.group.nodes:
+            node.executor.migration_fences[record.block_id] = fence
+        incoming, outgoing = migration_store_deltas(record, self.router)
+        boundary = record.block_id - 1
+        for shard in sorted(set(incoming) | set(outgoing)):
+            fate = fates.get(shard)
+            if fate == "skip":
+                continue
+            engine = self.group.nodes[shard].engine
+            if engine.store.last_committed_block != boundary:
+                # a lagging store (open partition window) misses the live
+                # shipment; catch-up re-applies it from the certified
+                # record, keyed off the watermark
+                continue
+            items = dict(outgoing.get(shard, ()))
+            items.update(incoming.get(shard, ()))
+            if fate == "torn":
+                items = dict(list(items.items())[: len(items) // 2])
+            engine.apply_migration(boundary, items)
+            if fate is None:
+                self._store_mig_epochs[shard] = record.epoch
+        backend = self._prepare_backend
+        if backend is not None:
+            backend.apply_migration(record)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.event(
+                "migrate",
+                block=record.block_id,
+                attrs={
+                    "epoch": record.epoch,
+                    "keys": len(record.moves),
+                    "shipped": len(record.deltas),
+                    "reason": record.reason,
+                },
+            )
+            if fates:
+                tracer.fault(
+                    "migration_fault",
+                    block=record.block_id,
+                    attrs={"fates": {s: fates[s] for s in sorted(fates)}},
+                )
+            tracer.metrics.counter("rebalance.migrations").inc()
+            tracer.metrics.gauge("rebalance.epoch").set(record.epoch)
+
+    def route_global_block(self, block, migration_barrier=None):
+        """The routing front half shared by the sequential driver, the
+        pipelined driver and the fault supervisor: decide/apply any due
+        migration, route every spec, feed the policy telemetry, log the
+        participant sets and split the block.
+
+        Returns ``(migration_record, participants, cross_tids,
+        sub_blocks)``. ``migration_barrier`` (pipelined driver, fault
+        supervisor) runs after a proposal is made but before the record is
+        built, so in-flight work can land and every store reaches the
+        boundary height first.
+        """
+        migration = None
+        policy = self.rebalance_policy
+        if policy is not None:
+            proposal = self.plan_rebalance(block.block_id)
+            if proposal is not None:
+                if migration_barrier is not None:
+                    migration_barrier()
+                migration = self.commit_rebalance(block.block_id, proposal)
+            policy.begin_block(block.block_id)
+            participants = []
+            for spec in block.specs:
+                parts, routed = self.router.route_spec(self.workload, spec)
+                participants.append(parts)
+                policy.observe_txn(routed, parts)
+        else:
+            participants = [
+                self.router.participants_of(self.workload, spec)
+                for spec in block.specs
+            ]
+        self.participants_log.append(participants)
+        cross_tids = {
+            block.first_tid + j
+            for j, shards in enumerate(participants)
+            if len(shards) > 1
+        }
+        sub_blocks = self.sequencer.split(block, participants)
+        return migration, participants, cross_tids, sub_blocks
+
     def process_global_block(
         self,
         block,
@@ -493,16 +672,9 @@ class ShardedBlockchain:
                 before, after = directive
                 skip_prepare = skip_prepare | before
                 skip_commit = skip_commit | before | after
-        participants = [
-            self.router.participants_of(self.workload, spec) for spec in block.specs
-        ]
-        self.participants_log.append(participants)
-        cross_tids = {
-            block.first_tid + j
-            for j, shards in enumerate(participants)
-            if len(shards) > 1
-        }
-        sub_blocks = self.sequencer.split(block, participants)
+        migration, participants, cross_tids, sub_blocks = self.route_global_block(
+            block
+        )
         tracer = self.tracer
         if tracer is not None:
             self._trace_order(
@@ -534,7 +706,9 @@ class ShardedBlockchain:
             for j, shards in enumerate(participants)
             if len(shards) > 1
         }
-        certificate = self.cert_log.append(votes, block.block_id, expected=expected)
+        certificate = self.cert_log.append(
+            votes, block.block_id, expected=expected, migration=migration
+        )
         executions = self.group.finish(
             prepared, certificate.abort_tids, skip=skip_commit
         )
@@ -802,6 +976,10 @@ class ShardedBlockchain:
         metrics.extra["cross_shard_aborted"] = state.cross_aborted_total
         metrics.extra["certificates_ok"] = self.cert_log.verify_chain()
         metrics.extra["cert_head"] = self.cert_log.head_hash
+        metrics.extra["ownership_epoch"] = self.router.ownership_epoch
+        metrics.extra["migrations"] = sum(
+            1 for cert in self.cert_log.certificates() if cert.migration is not None
+        )
         metrics.extra["backend"] = (
             "process" if self._prepare_backend is not None else "serial"
         )
@@ -849,21 +1027,9 @@ class ShardedBlockchain:
         per-shard states from (sub-blocks, certificates) alone — the
         sharded analogue of the paper's replica-consistency claim.
         """
-        other = ShardGroup(
-            self.config,
-            self.workload,
-            self.router,
-            self.costs,
-            self.orderer_signer,
-            name_prefix="replica-1",
-        )
-        height = len(self.group.nodes[0].ledger)
-        for i in range(height):
-            sub_blocks = {
-                shard: node.ledger[i] for shard, node in enumerate(self.group.nodes)
-            }
-            prepared = other.prepare(sub_blocks)
-            other.finish(prepared, self.cert_log[i].abort_tids)
+        from repro.parallel.replay import replay_group_serial
+
+        other = replay_group_serial(self, name_prefix="replica-1")
         return other.combined_state_hash() == self.group.combined_state_hash()
 
     # ------------------------------------------------------------ reporting

@@ -45,6 +45,11 @@ class CommitCertificate:
     abort_tids: frozenset
     prev_hash: str = GENESIS_CERT_HASH
     hash: str = ""
+    #: optional ownership-change record
+    #: (:class:`~repro.shard.rebalance.MigrationRecord`) certified at this
+    #: block — hash-covered, so replicas and replay apply the identical
+    #: re-key at the identical height
+    migration: object = None
 
     def __post_init__(self) -> None:
         if not self.hash:
@@ -55,7 +60,12 @@ class CommitCertificate:
             f"{v.tid}@{v.shard_id}={'c' if v.commit else 'a'}" for v in self.votes
         )
         aborts = ",".join(str(t) for t in sorted(self.abort_tids))
-        return f"{self.block_id}|{votes}|{aborts}|{self.prev_hash}".encode()
+        # Migration-free certificates keep the historical payload form, so
+        # their hashes (and every pre-rebalance chain) are unchanged.
+        suffix = (
+            f"|m:{self.migration.payload_text()}" if self.migration is not None else ""
+        )
+        return f"{self.block_id}|{votes}|{aborts}|{self.prev_hash}{suffix}".encode()
 
     def compute_hash(self) -> str:
         return sha256_hex(self.payload_bytes())
@@ -136,6 +146,7 @@ def make_certificate(
     votes: list[ShardVote],
     prev_hash: str,
     expected: dict[int, frozenset] | None = None,
+    migration: object = None,
 ) -> CommitCertificate:
     """Build the block's certificate with votes in canonical order.
 
@@ -143,6 +154,8 @@ def make_certificate(
     degradation: missing votes become synthesized vetoes via
     :func:`reconcile_votes`. Without it the votes are still deduplicated,
     so retransmitted copies never change the certificate hash.
+    ``migration`` rides the certificate hash-covered (see
+    :class:`~repro.shard.rebalance.MigrationRecord`).
     """
     reconciled = reconcile_votes(votes, expected)
     ordered = tuple(sorted(reconciled, key=lambda v: (v.tid, v.shard_id)))
@@ -151,6 +164,7 @@ def make_certificate(
         votes=ordered,
         abort_tids=decide(ordered),
         prev_hash=prev_hash,
+        migration=migration,
     )
 
 
@@ -177,22 +191,23 @@ class CertificateLog:
         votes: list[ShardVote],
         block_id: int,
         expected: dict[int, frozenset] | None = None,
+        migration: object = None,
     ) -> CommitCertificate:
-        cert = make_certificate(block_id, votes, self.head_hash, expected)
+        cert = make_certificate(block_id, votes, self.head_hash, expected, migration)
         self._certs.append(cert)
         if self.tracer is not None:
-            self.tracer.event(
-                "certify",
-                block=block_id,
-                attrs={
-                    "votes": len(cert.votes),
-                    "aborts": len(cert.abort_tids),
-                    "timeout_vetoes": sum(
-                        1 for v in cert.votes if v.reason == "vote-timeout"
-                    ),
-                    "head": cert.hash[:16],
-                },
-            )
+            attrs = {
+                "votes": len(cert.votes),
+                "aborts": len(cert.abort_tids),
+                "timeout_vetoes": sum(
+                    1 for v in cert.votes if v.reason == "vote-timeout"
+                ),
+                "head": cert.hash[:16],
+            }
+            if migration is not None:
+                attrs["migration_epoch"] = migration.epoch
+                attrs["migration_keys"] = len(migration.moves)
+            self.tracer.event("certify", block=block_id, attrs=attrs)
         return cert
 
     def verify_chain(self) -> bool:

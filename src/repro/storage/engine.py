@@ -22,7 +22,7 @@ from repro.storage.bufferpool import BufferPool
 from repro.storage.checkpoint import BlockLog, CheckpointManager
 from repro.storage.disk import SimulatedDisk
 from repro.storage.heap import HeapFile
-from repro.storage.mvstore import MVStore, SnapshotView
+from repro.storage.mvstore import MIGRATION_SEQ_BASE, MVStore, SnapshotView, TOMBSTONE
 from repro.storage.wal import LogMode, WriteAheadLog
 
 #: Default pool size: holds ~25% of a 10K-record table's pages, so buffer
@@ -138,6 +138,25 @@ class StorageEngine:
             self._delta_writes.append((block_id, ordered_writes))
         cost += self.wal.group_commit()
         return cost
+
+    def apply_migration(self, block_id: int, items: dict[object, object]) -> None:
+        """Install ownership-migration loads into boundary block ``block_id``.
+
+        ``items`` maps moved keys to their shipped values (incoming) or to
+        TOMBSTONE (outgoing). Versions land inside the already-applied
+        boundary block at :data:`MIGRATION_SEQ_BASE` offsets, and the batch
+        is buffered for the next delta checkpoint — a checkpoint taken
+        after the boundary must capture migrated values or a recovered
+        replica would diverge from one that never crashed.
+        """
+        if not items:
+            return
+        self.store.load(items, block_id=block_id, seq_start=MIGRATION_SEQ_BASE)
+        for key, value in items.items():
+            if value is not TOMBSTONE and key not in self.heap:
+                self.heap.insert(key)
+        if self.checkpoints.incremental:
+            self._delta_writes.append((block_id, list(items.items())))
 
     def writes_of(self, block_id: int) -> list[tuple[object, object]]:
         """The ordered writes installed for ``block_id``.

@@ -61,6 +61,12 @@ class _Tombstone:
 
 TOMBSTONE = _Tombstone()
 
+#: ``seq`` offset for ownership-migration loads: shipped key versions are
+#: installed *into* the boundary block ``H-1`` after the fact, and this
+#: base keeps them sorted after every real write of that block in
+#: :meth:`MVStore.writes_in_block` (blocks never carry 2**20 real writes).
+MIGRATION_SEQ_BASE = 1 << 20
+
 Version = tuple[int, int]
 
 
@@ -236,22 +242,34 @@ class MVStore:
             and latest is not None
         ]
 
-    def load(self, items: dict[object, object], block_id: int = -1) -> None:
-        """Bulk-load initial state as a pseudo-block (no snapshot bump)."""
+    def load(
+        self,
+        items: dict[object, object],
+        block_id: int = -1,
+        seq_start: int = 0,
+    ) -> None:
+        """Bulk-load initial state as a pseudo-block (no snapshot bump).
+
+        ``seq_start`` offsets the within-block ``seq`` tags: ownership
+        migrations load shipped versions *into an already-applied block*
+        (``MIGRATION_SEQ_BASE``), and they must sort after every real
+        write of that block in :meth:`writes_in_block` or replay would
+        interleave migration deltas before the block's own writes.
+        """
         versions = self._versions
         if not versions:
             # Common case — populating a fresh store: build the chain map
             # in one comprehension and the key directory with one sort.
             self._versions = {
                 key: [((block_id, seq), value)]
-                for seq, (key, value) in enumerate(items.items())
+                for seq, (key, value) in enumerate(items.items(), start=seq_start)
             }
             self._sorted_keys = sorted(self._versions)
             self._stale_keys.update(self._versions)
             self._block_keys.setdefault(block_id, []).extend(items)
             return
         new_keys = []
-        for seq, (key, value) in enumerate(items.items()):
+        for seq, (key, value) in enumerate(items.items(), start=seq_start):
             chain = versions.get(key)
             if chain is None:
                 versions[key] = [((block_id, seq), value)]

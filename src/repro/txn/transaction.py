@@ -35,6 +35,7 @@ class AbortReason(enum.Enum):
     ENDORSEMENT_MISMATCH = "endorsement-mismatch"  # SOV divergent rw-sets
     EXECUTION_ERROR = "execution-error"
     CROSS_SHARD_ABORT = "cross-shard-abort"  # 2PC veto by another shard
+    MIGRATION_FENCE = "migration-fence"  # key in flight at a re-key boundary
 
 
 @dataclass(frozen=True)

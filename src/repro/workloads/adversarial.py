@@ -28,7 +28,12 @@ from __future__ import annotations
 from repro.sim.rng import SeededRng
 from repro.txn.procedures import ProcedureRegistry
 from repro.txn.transaction import TxnSpec
-from repro.workloads.base import ShardAffinity, Workload, params
+from repro.workloads.base import (
+    ScanFootprint,
+    ShardAffinity,
+    Workload,
+    params,
+)
 from repro.workloads.zipf import ZipfGenerator
 
 ADV_TABLE = "adv"
@@ -45,7 +50,10 @@ class AdversarialWorkload(Workload):
     ``("r", i)`` read, ``("u", i, delta)`` fused add,
     ``("ru", i, delta)`` separated read-modify-write,
     ``("w", i, value)`` blind write, ``("del", i)`` delete,
-    ``("scan", lo, hi)`` range scan over ``[lo, hi)``.
+    ``("scan", lo, hi)`` range scan over ``[lo, hi)``, and
+    ``("wscan", lo, hi)`` — the same scan, but generated *wide*: the
+    window deliberately ignores partition bounds, so only the compiled
+    :meth:`spec_footprint` can route it exactly.
     """
 
     def __init__(
@@ -102,7 +110,7 @@ class AdversarialWorkload(Workload):
                 elif kind == "del":
                     ctx.delete(adv_key(op[1]))
                     blind.add(op[1])
-                else:  # "scan"
+                else:  # "scan" / "wscan" — identical execution
                     rows = ctx.scan(adv_key(op[1]), adv_key(op[2]))
                     out.append(len(rows))
             return tuple(out)
@@ -113,20 +121,39 @@ class AdversarialWorkload(Workload):
     def spec_keys(self, spec: TxnSpec) -> list | None:
         """Point keys plus scan endpoints.
 
-        Endpoints suffice for scans because every generator keeps a scan
-        inside one contiguous partition of the layout its affinity was
-        built with (and layout partitions nest inside any deployment whose
-        shard count divides the layout's, the only combinations the
-        benches replay).
+        Endpoints suffice for ``scan`` ops because every generator keeps
+        them inside one contiguous partition of the layout its affinity
+        was built with (and layout partitions nest inside any deployment
+        whose shard count divides the layout's, the only combinations the
+        benches replay). A ``wscan`` breaks that invariant by design, so
+        its presence makes the key footprint unknowable (``None`` —
+        broadcast) unless the router consumes :meth:`spec_footprint`.
         """
         keys = []
         for op in spec.param_dict["ops"]:
+            if op[0] == "wscan":
+                return None
             if op[0] == "scan":
                 keys.append(adv_key(op[1]))
                 keys.append(adv_key(max(op[1], op[2] - 1)))
             else:
                 keys.append(adv_key(op[1]))
         return keys
+
+    def spec_footprint(self, spec: TxnSpec) -> ScanFootprint:
+        """Exact compiled footprint: point keys plus ``[lo, hi)`` index
+        ranges for every scan (wide or not) — the router computes true
+        participant sets from this instead of endpoint guesses or a
+        broadcast. The adv table's index space *is* the key integer, so
+        scan bounds translate verbatim."""
+        points = []
+        ranges = []
+        for op in spec.param_dict["ops"]:
+            if op[0] in ("scan", "wscan"):
+                ranges.append((op[1], op[2]))
+            else:
+                points.append(adv_key(op[1]))
+        return ScanFootprint(points, ranges)
 
     def shard_index(self, key: object) -> int | None:
         if isinstance(key, tuple) and len(key) == 2 and key[0] == ADV_TABLE:
@@ -208,6 +235,13 @@ class RangeScanWorkload(AdversarialWorkload):
     Every ``burst_period`` transactions, ``burst_len`` consecutive
     transactions are writers that blind-write and delete inside the scan
     windows — phantoms for the range validators to catch.
+
+    ``wide_scan_ratio`` > 0 makes that fraction of reader scans *wide*:
+    a ``wide_span``-key window drawn over the whole keyspace, ignoring
+    partition bounds — the case where endpoint routing under-covers and
+    only :meth:`spec_footprint` keeps the participant set both exact and
+    small. The extra RNG draws are gated on the knob, so the default
+    (``0.0``) generates streams byte-identical to before the knob existed.
     """
 
     name = "adv-scan"
@@ -220,6 +254,8 @@ class RangeScanWorkload(AdversarialWorkload):
         burst_period: int = 10,
         burst_len: int = 2,
         writer_ops: int = 4,
+        wide_scan_ratio: float = 0.0,
+        wide_span: int | None = None,
         affinity: ShardAffinity | None = None,
     ) -> None:
         super().__init__(num_keys, affinity)
@@ -227,11 +263,19 @@ class RangeScanWorkload(AdversarialWorkload):
             raise ValueError("scan_span must be within [1, num_keys]")
         if burst_period < 1 or not 0 <= burst_len <= burst_period:
             raise ValueError("need 0 <= burst_len <= burst_period, period >= 1")
+        if not 0.0 <= wide_scan_ratio <= 1.0:
+            raise ValueError("wide_scan_ratio must be within [0, 1]")
         self.scan_span = scan_span
         self.scans_per_txn = scans_per_txn
         self.burst_period = burst_period
         self.burst_len = burst_len
         self.writer_ops = writer_ops
+        self.wide_scan_ratio = wide_scan_ratio
+        self.wide_span = (
+            min(num_keys, wide_span)
+            if wide_span is not None
+            else min(num_keys, scan_span * 8)
+        )
 
     def _window_start(self, rng: SeededRng, partition: int | None) -> int:
         """A scan-window start such that ``[start, start + span)`` stays
@@ -270,6 +314,14 @@ class RangeScanWorkload(AdversarialWorkload):
                         if (remote is not None and n == self.scans_per_txn - 1)
                         else home
                     )
+                    if (
+                        self.wide_scan_ratio > 0.0
+                        and rng.random() < self.wide_scan_ratio
+                    ):
+                        span = self.wide_span
+                        start = rng.randint(0, self.num_keys - span)
+                        ops.append(("wscan", start, start + span))
+                        continue
                     start = self._window_start(rng, target)
                     span = min(self.scan_span, self.num_keys - start)
                     ops.append(("scan", start, start + span))

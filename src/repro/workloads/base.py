@@ -6,9 +6,37 @@ from bisect import bisect_right
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.intervals import RangeIndex
 from repro.sim.rng import SeededRng
 from repro.txn.procedures import ProcedureRegistry
 from repro.txn.transaction import TxnSpec
+
+
+class ScanFootprint:
+    """A compiled static read/write footprint: point keys plus half-open
+    index-space scan ranges.
+
+    Range reads used to force a choice between two bad participant sets:
+    endpoint keys (an *underset* the moment a scan crosses a partition)
+    or a full broadcast. A footprint keeps both exact: ``points`` route
+    key-by-key, ``ranges`` are ``[lo, hi)`` integer intervals in the
+    workload's ``shard_index`` space, compiled into a
+    :class:`~repro.intervals.RangeIndex` so the router can stab each
+    ownership override's position against every scanned range at once.
+    """
+
+    __slots__ = ("points", "ranges", "_index")
+
+    def __init__(self, points=(), ranges=()) -> None:
+        self.points = tuple(points)
+        self.ranges = tuple(ranges)
+        self._index = RangeIndex(
+            (lo, hi, (lo, hi)) for lo, hi in self.ranges
+        )
+
+    def covers_index(self, position: int) -> bool:
+        """Whether any compiled scan range covers ``position``."""
+        return bool(self._index.stab(position))
 
 
 @lru_cache(maxsize=None)
@@ -115,6 +143,17 @@ class Workload:
         transaction to every shard. Workloads whose procedures' accesses
         are a pure function of the parameters (YCSB, SmallBank, hotspot)
         return the exact key list.
+        """
+        return None
+
+    def spec_footprint(self, spec: TxnSpec) -> ScanFootprint | None:
+        """Compiled footprint with exact scan ranges, or ``None``.
+
+        Preferred over :meth:`spec_keys` by the router when available:
+        a workload whose scans can cross partitions cannot express them
+        as a key list (endpoints under-cover, ``None`` broadcasts), but a
+        :class:`ScanFootprint` carries the precise index ranges and the
+        router computes the true participant set.
         """
         return None
 
